@@ -1,0 +1,251 @@
+//! Contributor bitsets — the no-double-counting instrument.
+//!
+//! The paper imposes: "no member vote is counted twice in any global
+//! aggregate calculation". [`VoteSet`] tracks exactly which members'
+//! votes an aggregate contains, so the simulator can (a) *enforce* the
+//! constraint (merging overlapping aggregates is an error) and (b)
+//! *measure* completeness ("the percentage of member votes included in a
+//! final global aggregate evaluation").
+//!
+//! This is simulation instrumentation: the protocol's correctness never
+//! depends on shipping the set, and the wire codec ([`crate::wire`])
+//! serializes only the constant-size aggregate value.
+
+/// A set of member indices, backed by a compact bit vector.
+///
+/// ```
+/// use gridagg_aggregate::VoteSet;
+///
+/// let mut included = VoteSet::new(100);
+/// included.insert(3);
+/// included.insert(64);
+/// assert!(included.contains(3));
+/// assert_eq!(included.len(), 2);
+/// assert_eq!(included.coverage(100), 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VoteSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl VoteSet {
+    /// An empty set sized for a group of `n` members.
+    pub fn new(n: usize) -> Self {
+        VoteSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// A set containing exactly `member`, sized for a group of `n`
+    /// (grows automatically if `member >= n`).
+    pub fn singleton(member: usize, n: usize) -> Self {
+        let mut s = VoteSet::new(n);
+        s.insert(member);
+        s
+    }
+
+    /// Insert a member index; returns `true` if newly inserted.
+    ///
+    /// Grows the backing store if `member` exceeds the current capacity.
+    pub fn insert(&mut self, member: usize) -> bool {
+        let word = member / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let bit = 1u64 << (member % 64);
+        if self.words[word] & bit != 0 {
+            false
+        } else {
+            self.words[word] |= bit;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Whether the set contains `member`.
+    pub fn contains(&self, member: usize) -> bool {
+        self.words
+            .get(member / 64)
+            .is_some_and(|w| w & (1u64 << (member % 64)) != 0)
+    }
+
+    /// Number of members in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this set shares no member with `other`.
+    pub fn is_disjoint(&self, other: &VoteSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
+    }
+
+    /// In-place union. The caller is responsible for checking
+    /// disjointness first when the no-double-counting constraint applies
+    /// (see [`crate::Tagged::try_merge`]).
+    pub fn union_with(&mut self, other: &VoteSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Iterate over member indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// The raw 64-bit words backing the set (for serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a set from raw words (inverse of [`VoteSet::words`]).
+    pub fn from_words(words: Vec<u64>) -> Self {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        VoteSet { words, len }
+    }
+
+    /// Fraction of a group of `n` members covered by this set.
+    pub fn coverage(&self, n: usize) -> f64 {
+        if n == 0 {
+            1.0
+        } else {
+            self.len as f64 / n as f64
+        }
+    }
+}
+
+impl FromIterator<usize> for VoteSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = VoteSet::new(0);
+        for m in iter {
+            s.insert(m);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for VoteSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for m in iter {
+            self.insert(m);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = VoteSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.contains(5));
+        assert!(s.contains(64));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut s = VoteSet::new(10);
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+
+    #[test]
+    fn singleton() {
+        let s = VoteSet::singleton(7, 64);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(7));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a: VoteSet = [1, 2, 3].into_iter().collect();
+        let b: VoteSet = [4, 5].into_iter().collect();
+        let c: VoteSet = [3, 4].into_iter().collect();
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+        assert!(!a.is_disjoint(&c));
+        assert!(!c.is_disjoint(&b));
+    }
+
+    #[test]
+    fn disjointness_with_different_lengths() {
+        let a: VoteSet = [1].into_iter().collect();
+        let b: VoteSet = [1000].into_iter().collect();
+        assert!(a.is_disjoint(&b));
+        assert!(b.is_disjoint(&a));
+    }
+
+    #[test]
+    fn union_recounts() {
+        let mut a: VoteSet = [1, 2].into_iter().collect();
+        let b: VoteSet = [2, 200].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(200));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: VoteSet = [100, 1, 64, 2].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 2, 64, 100]);
+    }
+
+    #[test]
+    fn coverage() {
+        let s: VoteSet = (0..25).collect();
+        assert!((s.coverage(100) - 0.25).abs() < 1e-12);
+        assert_eq!(VoteSet::new(0).coverage(0), 1.0);
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = VoteSet::new(64);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let s: VoteSet = [1, 64, 300].into_iter().collect();
+        let back = VoteSet::from_words(s.words().to_vec());
+        assert_eq!(back, s);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn singleton_grows_past_capacity() {
+        let s = VoteSet::singleton(64, 64);
+        assert!(s.contains(64));
+        assert_eq!(s.len(), 1);
+    }
+}

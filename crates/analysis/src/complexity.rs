@@ -1,0 +1,111 @@
+//! Closed-form complexity predictions (§6.3).
+//!
+//! "Time Complexity: Each phase of this algorithm lasts for K·logN
+//! gossip rounds … the time complexity of this algorithm is O(log²N).
+//! Message complexity: Each member gossips at a constant rate in each
+//! gossip round. Hence, the message complexity of this algorithm is
+//! O(N·log²N)."
+//!
+//! These functions evaluate the *simulation-parameterised* versions of
+//! those formulas (phases, `⌈C·log_M N⌉` rounds per phase, fanout `M`),
+//! so experiments can assert measured counts stay within small constant
+//! factors of the prediction — the "poly-logarithmically sub-optimal"
+//! claim, quantified.
+
+/// Number of protocol phases for `n` members and box constant `k`:
+/// `depth + 1` with `depth = max(1, round(log_k(n/k)))` (the
+/// generalised `log_K N`).
+pub fn phases(n: usize, k: u8) -> usize {
+    assert!(k >= 2 && n >= 2, "k >= 2 and n >= 2 required");
+    let ratio = n as f64 / k as f64;
+    let depth = if ratio <= 1.0 {
+        1
+    } else {
+        (ratio.ln() / (k as f64).ln()).round().max(1.0) as usize
+    };
+    depth + 1
+}
+
+/// Rounds per phase in the §7 simulations: `⌈C·log_M N⌉` (base
+/// `max(M, 2)`).
+pub fn rounds_per_phase(n: usize, fanout: u32, c: f64) -> u32 {
+    let base = fanout.max(2) as f64;
+    ((c * (n.max(2) as f64).ln() / base.ln()).ceil() as u32).max(1)
+}
+
+/// Predicted total rounds for one run: `phases × rounds_per_phase` —
+/// the paper's `O(log²N)` time complexity, with constants.
+pub fn expected_rounds(n: usize, k: u8, fanout: u32, c: f64) -> u64 {
+    phases(n, k) as u64 * rounds_per_phase(n, fanout, c) as u64
+}
+
+/// Predicted total *push* messages for one run: every member sends `M`
+/// gossip messages per round for the whole schedule — the paper's
+/// `O(N·log²N)` message complexity, with constants. Reactive replies
+/// (the "gossip with" exchange) at most double this.
+pub fn expected_messages(n: usize, k: u8, fanout: u32, c: f64) -> u64 {
+    n as u64 * expected_rounds(n, k, fanout, c) * fanout as u64
+}
+
+/// The optimum limits stated in §1 for any protocol under the model:
+/// `O(N)` messages, `O(1)` time, completeness 1. Returns the
+/// polylogarithmic factor by which hierarchical gossip exceeds the
+/// message optimum: `expected_messages / n`.
+pub fn suboptimality_factor(n: usize, k: u8, fanout: u32, c: f64) -> f64 {
+    expected_messages(n, k, fanout, c) as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_match_hierarchy_crate_shape() {
+        // N=8, K=2 → 3 phases (paper example); N=200, K=4 → 4
+        assert_eq!(phases(8, 2), 3);
+        assert_eq!(phases(200, 4), 4);
+        assert_eq!(phases(4, 4), 2);
+    }
+
+    #[test]
+    fn rounds_per_phase_matches_paper_defaults() {
+        // N=200, M=2, C=1 → ceil(log2 200) = 8
+        assert_eq!(rounds_per_phase(200, 2, 1.0), 8);
+        assert_eq!(rounds_per_phase(200, 2, 1.4), 11);
+        assert_eq!(rounds_per_phase(2, 2, 1.0), 1);
+    }
+
+    #[test]
+    fn time_is_polylog() {
+        // rounds grow ~log²: doubling N many times grows rounds slowly
+        let r200 = expected_rounds(200, 4, 2, 1.0);
+        let r3200 = expected_rounds(3200, 4, 2, 1.0);
+        assert!(r3200 < 3 * r200, "{r3200} vs {r200}");
+        assert!(r3200 > r200);
+    }
+
+    #[test]
+    fn messages_are_n_polylog() {
+        let m200 = expected_messages(200, 4, 2, 1.0);
+        let m3200 = expected_messages(3200, 4, 2, 1.0);
+        // 16× members → messages grow by 16× times a polylog factor < 3
+        let growth = m3200 as f64 / m200 as f64;
+        assert!(growth > 16.0 && growth < 48.0, "growth {growth}");
+    }
+
+    #[test]
+    fn suboptimality_is_log_squared_ish() {
+        let f = suboptimality_factor(200, 4, 2, 1.0);
+        // phases(4) × rpp(8) × M(2) = 64
+        assert_eq!(f, 64.0);
+        // and grows slowly with N
+        let f_big = suboptimality_factor(3200, 4, 2, 1.0);
+        assert!(f_big < 3.0 * f);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn phases_validates() {
+        let _ = phases(8, 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Bailey's deterministic epidemic model.
+//!
+//! §6.3 models each gossiped value's propagation "as a deterministic
+//! epidemic \[1\] among the members of the respective grid box or
+//! subtree": with `m` members, one initial infective, and `b` contacts
+//! per round, the non-infected count `x(t)` obeys
+//!
+//! ```text
+//! dx/dt = −(b/m) · x · (m − x),   x(0) = m − 1
+//! ```
+//!
+//! whose exact solution is the logistic decay
+//!
+//! ```text
+//! x(t) = m / (1 + e^{bt} / (m − 1)).
+//! ```
+//!
+//! (The paper's display `x = m / (1 + m·e^{−bt})` is this up to the
+//! `m ≫ 1` approximation of the initial condition; we use the exact
+//! form and verify the asymptotics agree.)
+
+/// Non-infected count `x(t)` after `t` rounds in a population of `m`
+/// with one initial infective and contact rate `b` per round.
+///
+/// Returns 0 for `m <= 1` (a singleton is trivially "fully infected" —
+/// the value's owner knows it).
+pub fn noninfected(m: f64, b: f64, t: f64) -> f64 {
+    if m <= 1.0 {
+        return 0.0;
+    }
+    m / (1.0 + (b * t).exp() / (m - 1.0))
+}
+
+/// Fraction of the population that knows the value after `t` rounds:
+/// `1 − x(t)/m`.
+pub fn infected_fraction(m: f64, b: f64, t: f64) -> f64 {
+    if m <= 1.0 {
+        return 1.0;
+    }
+    1.0 - noninfected(m, b, t) / m
+}
+
+/// Rounds needed for the expected non-infected count to fall below
+/// `target` (e.g. 1.0): solves `x(t) = target` for `t`.
+///
+/// Returns 0.0 when already below the target at `t = 0`.
+pub fn rounds_to_reach(m: f64, b: f64, target: f64) -> f64 {
+    if m <= 1.0 || m - 1.0 <= target {
+        return 0.0;
+    }
+    let target = target.max(1e-12);
+    // m/(1 + e^{bt}/(m-1)) = target  →  e^{bt} = (m/target − 1)(m−1)
+    (((m / target - 1.0) * (m - 1.0)).ln() / b).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_condition_exact() {
+        for m in [2.0, 10.0, 1000.0] {
+            assert!((noninfected(m, 1.0, 0.0) - (m - 1.0)).abs() < 1e-9, "m={m}");
+        }
+    }
+
+    #[test]
+    fn decays_to_zero() {
+        assert!(noninfected(1000.0, 2.0, 50.0) < 1e-9);
+        assert!((infected_fraction(1000.0, 2.0, 50.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_t_and_b() {
+        let m = 500.0;
+        assert!(noninfected(m, 1.0, 5.0) > noninfected(m, 1.0, 6.0));
+        assert!(noninfected(m, 1.0, 5.0) > noninfected(m, 2.0, 5.0));
+    }
+
+    #[test]
+    fn singleton_knows_itself() {
+        assert_eq!(noninfected(1.0, 4.0, 0.0), 0.0);
+        assert_eq!(infected_fraction(0.0, 4.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn asymptotic_matches_paper_form() {
+        // For large m and bt, x ≈ m·(m−1)·e^{−bt} ≈ m²e^{−bt}; paper's
+        // m/(1+m e^{−bt})^{-1}-style tail also ~ e^{−bt}. Check slope of
+        // log x vs t equals −b.
+        let m = 10_000.0;
+        let b = 3.0;
+        let x1 = noninfected(m, b, 10.0).ln();
+        let x2 = noninfected(m, b, 11.0).ln();
+        assert!(((x1 - x2) - b).abs() < 1e-6, "slope {}", x1 - x2);
+    }
+
+    #[test]
+    fn rounds_to_reach_inverts() {
+        let m = 2000.0;
+        let b = 1.5;
+        let t = rounds_to_reach(m, b, 1.0);
+        assert!((noninfected(m, b, t) - 1.0).abs() < 1e-6);
+        assert_eq!(rounds_to_reach(1.0, b, 1.0), 0.0);
+        assert_eq!(rounds_to_reach(1.5, b, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Ablation — network asynchrony (message delay jitter).
+//!
+//! The paper's model is an asynchronous network; its simulation delivers
+//! gossip next round. Here deliveries take uniformly 1..=D rounds: each
+//! extra round of jitter stretches phases relative to the per-phase
+//! timeout, degrading completeness smoothly — the protocol needs no
+//! synchrony, only that "clock drifts [be] much smaller than the
+//! protocol running time" (§6.3).
+
+use gridagg_aggregate::Average;
+use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
+use gridagg_core::config::ExperimentConfig;
+use gridagg_core::runner::run_hiergossip;
+use gridagg_core::{run_many, summarize};
+
+fn main() {
+    let delays = [1u64, 2, 3, 4];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (i, &d) in delays.iter().enumerate() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.max_delay = Some(d);
+        // give the engine room for stretched schedules
+        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+            run_hiergossip::<Average>(&cfg, seed)
+        });
+        let s = summarize(&reports);
+        series.push(s.mean_incompleteness);
+        rows.push(vec![
+            d.to_string(),
+            sci(s.mean_incompleteness),
+            format!("{:.1}", s.mean_rounds),
+            s.runs.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablation: message delay jitter 1..=D rounds (N=200, defaults)",
+        &["max delay", "incompleteness", "rounds", "runs"],
+        &rows,
+    );
+    write_csv(
+        "ablation_delay.csv",
+        &["max_delay", "incompleteness", "rounds", "runs"],
+        &rows,
+    );
+    println!(
+        "shape check: completeness degrades smoothly with jitter ({} -> {}), no collapse = {}",
+        sci(series[0]),
+        sci(series[series.len() - 1]),
+        series[series.len() - 1] < 0.5
+    );
+}

@@ -1,0 +1,44 @@
+//! Ablation — the grid box constant `K` on the full protocol.
+//!
+//! Figure 5 studies `K` analytically for the first phase; this sweep
+//! runs the whole protocol. Larger `K` means fewer, shorter phases but
+//! bigger boxes and more sibling values per phase — the paper's fixed
+//! `K = 4` sits in the sweet spot at `N = 200`.
+
+use gridagg_aggregate::Average;
+use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
+use gridagg_core::config::ExperimentConfig;
+use gridagg_core::runner::run_hiergossip;
+use gridagg_core::{run_many, summarize};
+
+fn main() {
+    let ks = [2u8, 4, 8, 16];
+    let mut rows = Vec::new();
+    for (i, &k) in ks.iter().enumerate() {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        cfg.k = k;
+        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+            run_hiergossip::<Average>(&cfg, seed)
+        });
+        let s = summarize(&reports);
+        let phases = gridagg_analysis::phases(cfg.n, k);
+        rows.push(vec![
+            k.to_string(),
+            phases.to_string(),
+            sci(s.mean_incompleteness),
+            format!("{:.0}", s.mean_messages),
+            format!("{:.1}", s.mean_rounds),
+        ]);
+    }
+    print_table(
+        "Ablation: grid box constant K (N=200, defaults otherwise)",
+        &["K", "phases", "incompleteness", "messages", "rounds"],
+        &rows,
+    );
+    write_csv(
+        "ablation_k.csv",
+        &["k", "phases", "incompleteness", "messages", "rounds"],
+        &rows,
+    );
+    println!("all K values keep the protocol functional; rounds shrink with K (fewer phases)");
+}

@@ -1,0 +1,77 @@
+//! Ablation §6.2 — leader election is fragile under crash failures.
+//!
+//! Paper: "Failure of a member elected as the leader of a subtree of
+//! height i would result in the exclusion of the votes of an expected
+//! K^i members from the final global estimate", and committees need
+//! K' = O(logN) to survive. We sweep the per-round crash rate and
+//! compare single-leader and committee variants against Hierarchical
+//! Gossiping.
+
+use gridagg_aggregate::Average;
+use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
+use gridagg_core::baselines::LeaderElectionConfig;
+use gridagg_core::config::ExperimentConfig;
+use gridagg_core::runner::{run_hiergossip, run_leader_election};
+use gridagg_core::{run_many, summarize};
+
+fn main() {
+    let pfs = [0.0f64, 0.001, 0.002, 0.005, 0.01];
+    let mut rows = Vec::new();
+    let mut worst = (0.0f64, 0.0f64); // (leader1 inc, hier inc) at max pf
+    for (i, &pf) in pfs.iter().enumerate() {
+        let cfg = {
+            let mut c = ExperimentConfig::paper_defaults().with_n(256);
+            c.pf = pf;
+            c
+        };
+        let seed = base_seed() + (i as u64) * 10_000;
+        let hier = summarize(&run_many(runs(), seed, |s| {
+            run_hiergossip::<Average>(&cfg, s)
+        }));
+        let leader1 = summarize(&run_many(runs(), seed, |s| {
+            run_leader_election::<Average>(
+                &cfg,
+                LeaderElectionConfig {
+                    committee: 1,
+                    ..Default::default()
+                },
+                s,
+            )
+        }));
+        let leader3 = summarize(&run_many(runs(), seed, |s| {
+            run_leader_election::<Average>(
+                &cfg,
+                LeaderElectionConfig {
+                    committee: 3,
+                    ..Default::default()
+                },
+                s,
+            )
+        }));
+        if pf == 0.01 {
+            worst = (leader1.mean_incompleteness, hier.mean_incompleteness);
+        }
+        rows.push(vec![
+            format!("{pf}"),
+            sci(hier.mean_incompleteness),
+            sci(leader1.mean_incompleteness),
+            sci(leader3.mean_incompleteness),
+        ]);
+    }
+    print_table(
+        "Ablation: leader election fragility vs crash rate (N=256, ucastl=0.25)",
+        &["pf", "hiergossip", "leader K'=1", "leader K'=3"],
+        &rows,
+    );
+    write_csv(
+        "ablation_leader.csv",
+        &["pf", "hiergossip_inc", "leader1_inc", "leader3_inc"],
+        &rows,
+    );
+    println!(
+        "shape check: at pf=0.01, leader-election incompleteness ({}) exceeds hiergossip ({}) = {}",
+        sci(worst.0),
+        sci(worst.1),
+        worst.0 > worst.1
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 4 — first-phase completeness vs group size.
+//!
+//! Paper: "-log(1 − C1(N, K, b)) varies linearly with log(N)" at
+//! `K = 2, b = 4`, with the `1/N` line as the pessimistic reference
+//! (Postulate 1: `C1 ≥ 1 − 1/N`).
+//!
+//! The paper evaluates `C1` by simulation-plus-reasoning; we compute the
+//! binomial-over-box-occupancy expression exactly (in log space) from
+//! `gridagg-analysis`, and print the paper's reference line alongside.
+
+use gridagg_analysis::{c1_incompleteness, theorem1_bound};
+use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::{is_decreasing, print_table, sci, write_csv};
+
+fn main() {
+    let k = 2.0;
+    let b = 4.0;
+    let ns = [1000u64, 2000, 4000, 8000];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for &n in &ns {
+        let inc = c1_incompleteness(n, k, b);
+        let reference = 1.0 - theorem1_bound(n as f64); // 1/N
+        series.push(inc);
+        rows.push(vec![
+            n.to_string(),
+            sci(inc),
+            sci(-(inc.max(f64::MIN_POSITIVE)).ln()),
+            sci(reference),
+        ]);
+    }
+    print_table(
+        "Figure 4: 1-C1(N, K=2, b=4) vs N (analytic), with 1/N reference",
+        &["N", "1-C1", "-ln(1-C1)", "1/N (ref)"],
+        &rows,
+    );
+    write_csv(
+        "fig04.csv",
+        &["n", "incompleteness", "neglog", "ref_1_over_n"],
+        &rows,
+    );
+    Plot {
+        title: "Figure 4: first-phase incompleteness vs N (K=2, b=4)".into(),
+        x_label: "group size N".into(),
+        y_label: "1 - C1".into(),
+        x_scale: Scale::Log,
+        y_scale: Scale::Log,
+        series: vec![
+            PlotSeries {
+                label: "analytic 1-C1".into(),
+                points: ns
+                    .iter()
+                    .zip(&series)
+                    .map(|(&n, &y)| (n as f64, y))
+                    .collect(),
+            },
+            PlotSeries {
+                label: "1/N reference".into(),
+                points: ns.iter().map(|&n| (n as f64, 1.0 / n as f64)).collect(),
+            },
+        ],
+    }
+    .write("fig04.svg");
+
+    assert!(is_decreasing(&series), "incompleteness must fall with N");
+    let below_ref = series
+        .iter()
+        .zip(&ns)
+        .all(|(inc, &n)| *inc <= 1.0 / n as f64);
+    println!(
+        "shape check: decreasing in N = true; below 1/N reference = {below_ref} (Postulate 1)"
+    );
+}

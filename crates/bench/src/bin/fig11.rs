@@ -1,0 +1,74 @@
+//! Figure 11 — Scalability 2: incompleteness bounded by 1/N.
+//!
+//! Paper: `C = 1.4, ucastl = pf = 0` (so `b ≈ 1.0`); although Theorem 1's
+//! conditions do not hold, measured incompleteness "falls with N, and is
+//! upper bounded by 1/N".
+
+use gridagg_aggregate::Average;
+use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
+use gridagg_core::config::ExperimentConfig;
+use gridagg_core::runner::run_hiergossip;
+use gridagg_core::{run_many, summarize};
+
+fn main() {
+    let ns = [300usize, 400, 500, 600];
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut ok = true;
+    for (i, &n) in ns.iter().enumerate() {
+        let mut cfg = ExperimentConfig::paper_defaults()
+            .with_n(n)
+            .with_ucastl(0.0);
+        cfg.pf = 0.0;
+        cfg.round_factor = 1.4;
+        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+            run_hiergossip::<Average>(&cfg, seed)
+        });
+        let s = summarize(&reports);
+        let bound = 1.0 / n as f64;
+        series.push(s.mean_incompleteness);
+        ok &= s.mean_incompleteness <= bound;
+        rows.push(vec![
+            n.to_string(),
+            sci(s.mean_incompleteness),
+            sci(bound),
+            (s.mean_incompleteness <= bound).to_string(),
+            s.runs.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 11: incompleteness vs N at C=1.4, ucastl=pf=0, vs 1/N bound",
+        &["N", "incompleteness", "1/N bound", "below bound", "runs"],
+        &rows,
+    );
+    write_csv(
+        "fig11.csv",
+        &["n", "incompleteness", "bound", "below_bound", "runs"],
+        &rows,
+    );
+    Plot {
+        title: "Figure 11: incompleteness vs N at C=1.4, no loss".into(),
+        x_label: "group size N".into(),
+        y_label: "incompleteness".into(),
+        x_scale: Scale::Linear,
+        y_scale: Scale::Log,
+        series: vec![
+            PlotSeries {
+                label: "measured".into(),
+                points: ns
+                    .iter()
+                    .zip(&series)
+                    .map(|(&n, &y)| (n as f64, y))
+                    .collect(),
+            },
+            PlotSeries {
+                label: "1/N bound".into(),
+                points: ns.iter().map(|&n| (n as f64, 1.0 / n as f64)).collect(),
+            },
+        ],
+    }
+    .write("fig11.svg");
+    assert!(ok, "incompleteness must stay below the 1/N bound");
+    println!("shape check: incompleteness <= 1/N at every N = true");
+}

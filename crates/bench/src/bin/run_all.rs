@@ -1,0 +1,64 @@
+//! `run_all` — regenerate the entire evaluation in one command.
+//!
+//! Invokes every figure, the complexity table, and every ablation in
+//! sequence (in-process, not by spawning binaries), honouring the same
+//! `GRIDAGG_RUNS` / `GRIDAGG_SEED` / `GRIDAGG_OUT` environment knobs.
+//! Equivalent to running each `figNN` / `ablation_*` binary, for CI and
+//! EXPERIMENTS.md refreshes:
+//!
+//! ```console
+//! $ GRIDAGG_RUNS=40 cargo run --release -p gridagg-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "complexity",
+    "ablation_leader",
+    "ablation_topo",
+    "ablation_bump",
+    "ablation_views",
+    "ablation_nestimate",
+    "ablation_delay",
+    "ablation_fanout",
+    "ablation_k",
+    "phase_profile",
+];
+
+fn main() {
+    // run sibling binaries from the same build directory so `run_all`
+    // works both via `cargo run` and from a plain target/ directory
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n########## {bin} ##########");
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failures.push(*bin);
+            }
+            Err(e) => {
+                eprintln!("could not run {} ({e}); build it first with `cargo build --release -p gridagg-bench`", path.display());
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiment binaries completed", BINARIES.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

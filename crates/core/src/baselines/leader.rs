@@ -1,0 +1,458 @@
+//! Hierarchical leader election on the Grid Box Hierarchy (§6.2).
+//!
+//! "Each member is initially a leader of its own height-0 subtree. In
+//! phase i, a leader is elected for each subtree of height i from the
+//! leaders of its child subtrees … the algorithm finally terminates …
+//! with the entire tree electing one leader who has the aggregate
+//! function estimate for the entire group, and subsequently disseminates
+//! this to the group via the tree."
+//!
+//! Leaders are elected *deterministically* from the (assumed consistent)
+//! view: the `K′` members of a subtree with the smallest well-known hash
+//! of their identifier. Because the hash is prefix-independent, a
+//! parent-committee member is always also a committee member of its own
+//! child subtree, so the election needs no extra communication — exactly
+//! the §6.2 setting where "views \[are\] consistent and complete at all
+//! members". There is **no failure detection and no re-election**: a
+//! crashed subtree leader (committee) silently loses its subtree's
+//! votes, which is the fragility the paper demonstrates and Figure-A
+//! (`ablation_leader`) reproduces.
+//!
+//! The schedule is synchronous: `phases` upward phases of `phase_len`
+//! rounds each (members retransmit within a phase to tolerate loss),
+//! then `depth + 1` downward dissemination steps of `phase_len` rounds.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gridagg_aggregate::{Aggregate, Tagged};
+use gridagg_group::MemberId;
+use gridagg_hierarchy::Addr;
+use gridagg_simnet::rng::splitmix64;
+use gridagg_simnet::Round;
+
+use crate::message::Payload;
+use crate::protocol::{AggregationProtocol, Ctx, Outbox};
+use crate::scope::ScopeIndex;
+
+/// Parameters of the leader-election baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderElectionConfig {
+    /// Committee size `K′` per subtree (1 = single leader).
+    pub committee: usize,
+    /// Rounds per phase/step (retransmissions within a phase).
+    pub phase_len: u32,
+    /// Salt of the well-known election hash.
+    pub salt: u64,
+}
+
+impl Default for LeaderElectionConfig {
+    fn default() -> Self {
+        LeaderElectionConfig {
+            committee: 1,
+            phase_len: 2,
+            salt: 0xE1EC,
+        }
+    }
+}
+
+/// Election hash: prefix-independent so committee chains nest.
+fn election_key(salt: u64, id: MemberId) -> u64 {
+    splitmix64(salt ^ splitmix64(id.0 as u64 ^ 0x1EAD))
+}
+
+/// Precomputed committees for every subtree prefix, shared by all
+/// members of a run (every member could compute this locally from its
+/// view; sharing it is a simulation-level optimisation).
+#[derive(Debug)]
+pub struct LeaderDirectory {
+    committees: HashMap<Addr, Vec<MemberId>>,
+}
+
+impl LeaderDirectory {
+    /// Build the directory bottom-up from the scope index.
+    pub fn build(index: &ScopeIndex, cfg: &LeaderElectionConfig) -> Arc<Self> {
+        let h = *index.hierarchy();
+        let k_prime = cfg.committee.max(1);
+        let mut committees: HashMap<Addr, Vec<MemberId>> = HashMap::new();
+        let pick = |mut cands: Vec<MemberId>| -> Vec<MemberId> {
+            cands.sort_unstable_by_key(|&m| (election_key(cfg.salt, m), m));
+            cands.truncate(k_prime);
+            cands
+        };
+        // boxes first
+        for b in 0..h.num_boxes() {
+            let addr = h.box_at(b);
+            let members = index.members_in(&addr).to_vec();
+            if !members.is_empty() {
+                committees.insert(addr, pick(members));
+            }
+        }
+        // then every ancestor level, from the committees one level down
+        for len in (0..h.depth()).rev() {
+            let prefixes: Vec<Addr> = (0..(h.k() as u64).pow(len as u32))
+                .map(|i| Addr::from_index(h.k(), len, i).expect("valid prefix"))
+                .collect();
+            for p in prefixes {
+                let cands: Vec<MemberId> = p
+                    .children()
+                    .filter_map(|c| committees.get(&c))
+                    .flatten()
+                    .copied()
+                    .collect();
+                if !cands.is_empty() {
+                    committees.insert(p, pick(cands));
+                }
+            }
+        }
+        Arc::new(LeaderDirectory { committees })
+    }
+
+    /// The committee of a prefix (empty slice for empty subtrees).
+    pub fn committee(&self, prefix: &Addr) -> &[MemberId] {
+        self.committees.get(prefix).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Whether `id` sits on the committee of `prefix`.
+    pub fn is_committee(&self, prefix: &Addr, id: MemberId) -> bool {
+        self.committee(prefix).contains(&id)
+    }
+}
+
+/// One member's leader-election instance.
+#[derive(Debug)]
+pub struct LeaderElection<A> {
+    me: MemberId,
+    n: usize,
+    vote: f64,
+    cfg: LeaderElectionConfig,
+    index: Arc<ScopeIndex>,
+    directory: Arc<LeaderDirectory>,
+    my_box: Addr,
+    /// votes gathered as a box-committee member
+    votes: Vec<(MemberId, f64)>,
+    have_vote: std::collections::HashSet<u32>,
+    /// child-subtree aggregates gathered as a committee member
+    aggs: HashMap<Addr, Tagged<A>>,
+    result: Option<Tagged<A>>,
+    done_at: Option<Round>,
+    estimate: Option<Tagged<A>>,
+}
+
+impl<A: Aggregate> LeaderElection<A> {
+    /// Create the instance for member `me` with vote `vote`.
+    pub fn new(
+        me: MemberId,
+        vote: f64,
+        index: Arc<ScopeIndex>,
+        directory: Arc<LeaderDirectory>,
+        cfg: LeaderElectionConfig,
+    ) -> Self {
+        let my_box = index.box_of(me);
+        let mut have_vote = std::collections::HashSet::new();
+        have_vote.insert(me.0);
+        LeaderElection {
+            me,
+            n: index.len(),
+            vote,
+            cfg,
+            index,
+            directory,
+            my_box,
+            votes: vec![(me, vote)],
+            have_vote,
+            aggs: HashMap::new(),
+            result: None,
+            done_at: None,
+            estimate: None,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.index.hierarchy().depth()
+    }
+
+    fn phases(&self) -> usize {
+        self.index.hierarchy().phases()
+    }
+
+    /// Total schedule length in rounds: up phases + down steps.
+    pub fn schedule_rounds(&self) -> Round {
+        ((self.phases() + self.depth() + 1) as u32 * self.cfg.phase_len) as Round
+    }
+
+    /// Compose (and cache) my aggregate for the prefix of length `len`
+    /// in my own address chain.
+    fn compose_own(&mut self, len: usize) -> Tagged<A> {
+        let prefix = self.my_box.prefix(len);
+        if let Some(a) = self.aggs.get(&prefix) {
+            return a.clone();
+        }
+        let composed = if len == self.depth() {
+            let mut votes = self.votes.clone();
+            votes.sort_unstable_by_key(|(m, _)| *m);
+            let mut acc = Tagged::<A>::empty(self.n);
+            for (m, v) in votes {
+                acc.try_merge(&Tagged::from_vote(m.index(), v, self.n))
+                    .expect("unique votes");
+            }
+            acc
+        } else {
+            let mut acc = Tagged::<A>::empty(self.n);
+            for child in prefix.children() {
+                if let Some(a) = self.aggs.get(&child) {
+                    acc.try_merge(a).expect("disjoint children");
+                }
+            }
+            acc
+        };
+        self.aggs.insert(prefix, composed.clone());
+        composed
+    }
+}
+
+impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
+    fn on_round(&mut self, ctx: &mut Ctx<'_>, out: &mut Outbox<A>) {
+        if self.done_at.is_some() {
+            return;
+        }
+        let round = ctx.round;
+        let depth = self.depth();
+        let len_of = |step: usize| depth + 1 - step; // scope len at up phase `step`
+        let l = self.cfg.phase_len as Round;
+        let up_rounds = self.phases() as Round * l;
+
+        if round >= self.schedule_rounds() {
+            let estimate = self
+                .result
+                .clone()
+                .unwrap_or_else(|| Tagged::from_vote(self.me.index(), self.vote, self.n));
+            self.estimate = Some(estimate);
+            self.done_at = Some(round);
+            return;
+        }
+
+        if round < up_rounds {
+            let phase = (round / l) as usize + 1; // 1-based
+            if phase == 1 {
+                // everyone ships its vote to the box committee
+                let committee: Vec<MemberId> = self
+                    .directory
+                    .committee(&self.my_box)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != self.me)
+                    .collect();
+                out.send_many(
+                    committee,
+                    Payload::Vote {
+                        member: self.me,
+                        value: self.vote,
+                    },
+                );
+            } else {
+                // committee members of the child subtree ship its
+                // aggregate to the parent-scope committee
+                let child_len = len_of(phase - 1);
+                let child = self.my_box.prefix(child_len);
+                if self.directory.is_committee(&child, self.me) {
+                    let agg = self.compose_own(child_len);
+                    let scope = self.my_box.prefix(len_of(phase));
+                    let parents: Vec<MemberId> = self
+                        .directory
+                        .committee(&scope)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != self.me)
+                        .collect();
+                    out.send_many(
+                        parents,
+                        Payload::Agg {
+                            subtree: child,
+                            agg,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+
+        // downward dissemination
+        let step = ((round - up_rounds) / l) as usize + 1; // 1-based
+        if step == 1 && self.directory.is_committee(&self.my_box.prefix(0), self.me) {
+            // root committee finalizes the group aggregate
+            let root_agg = self.compose_own(0);
+            self.result.get_or_insert(root_agg);
+        }
+        if self.result.is_none() {
+            return;
+        }
+        let result = self.result.clone().expect("checked above");
+        if step <= self.depth() {
+            // committee at len (step-1) forwards to committees at len step
+            let from_len = step - 1;
+            if self
+                .directory
+                .is_committee(&self.my_box.prefix(from_len), self.me)
+            {
+                for child in self.my_box.prefix(from_len).children() {
+                    let targets: Vec<MemberId> = self
+                        .directory
+                        .committee(&child)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != self.me)
+                        .collect();
+                    out.send_many(
+                        targets,
+                        Payload::Final {
+                            agg: result.clone(),
+                        },
+                    );
+                }
+            }
+        } else {
+            // final step: box committee broadcasts to its box
+            if self.directory.is_committee(&self.my_box, self.me) {
+                let targets: Vec<MemberId> = self
+                    .index
+                    .members_in(&self.my_box)
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != self.me)
+                    .collect();
+                out.send_many(targets, Payload::Final { agg: result });
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        _from: MemberId,
+        payload: Payload<A>,
+        _ctx: &mut Ctx<'_>,
+        _out: &mut Outbox<A>,
+    ) {
+        if self.done_at.is_some() {
+            return;
+        }
+        match payload {
+            Payload::Vote { member, value } => {
+                if self.index.box_of(member) == self.my_box && self.have_vote.insert(member.0) {
+                    self.votes.push((member, value));
+                }
+            }
+            Payload::Agg { subtree, agg } => {
+                if subtree.parent().is_some_and(|p| p.contains(&self.my_box)) {
+                    self.aggs.entry(subtree).or_insert(agg);
+                }
+            }
+            Payload::Final { agg } => {
+                self.result.get_or_insert(agg);
+            }
+            Payload::VoteBatch { .. } | Payload::AggBatch { .. } => {
+                // batch gossip is a hierarchical-gossip wire form; the
+                // leader protocol never emits or consumes it
+            }
+        }
+    }
+
+    fn estimate(&self) -> Option<&Tagged<A>> {
+        self.estimate.as_ref()
+    }
+
+    fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+
+    fn completed_at(&self) -> Option<Round> {
+        self.done_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_aggregate::Average;
+    use gridagg_group::view::View;
+    use gridagg_hierarchy::{FairHashPlacement, Hierarchy};
+
+    fn setup(n: usize, k: u8, committee: usize) -> (Arc<ScopeIndex>, Arc<LeaderDirectory>) {
+        let h = Hierarchy::for_group(k, n).unwrap();
+        let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 7));
+        let cfg = LeaderElectionConfig {
+            committee,
+            ..Default::default()
+        };
+        let dir = LeaderDirectory::build(&index, &cfg);
+        (index, dir)
+    }
+
+    #[test]
+    fn committees_have_requested_size() {
+        let (index, dir) = setup(64, 4, 2);
+        let h = *index.hierarchy();
+        for b in 0..h.num_boxes() {
+            let addr = h.box_at(b);
+            let c = dir.committee(&addr);
+            let box_size = index.count_in(&addr);
+            assert_eq!(c.len(), box_size.min(2), "box {addr}");
+        }
+        let root = Addr::root(4).unwrap();
+        assert_eq!(dir.committee(&root).len(), 2);
+    }
+
+    #[test]
+    fn committee_chains_nest() {
+        // a parent-committee member is a committee member of its own child
+        let (index, dir) = setup(256, 4, 2);
+        let h = *index.hierarchy();
+        for len in 0..h.depth() {
+            for i in 0..(h.k() as u64).pow(len as u32) {
+                let p = Addr::from_index(4, len, i).unwrap();
+                for &m in dir.committee(&p) {
+                    let child = index.box_of(m).prefix(len + 1);
+                    assert!(
+                        dir.is_committee(&child, m),
+                        "{m} leads {p} but not its child {child}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn committee_members_belong_to_subtree() {
+        let (index, dir) = setup(64, 2, 1);
+        let h = *index.hierarchy();
+        for len in 0..=h.depth() {
+            for i in 0..(h.k() as u64).pow(len as u32) {
+                let p = Addr::from_index(2, len, i).unwrap();
+                for &m in dir.committee(&p) {
+                    assert!(p.contains(&index.box_of(m)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn directory_is_deterministic() {
+        let (_, d1) = setup(64, 4, 1);
+        let (_, d2) = setup(64, 4, 1);
+        let root = Addr::root(4).unwrap();
+        assert_eq!(d1.committee(&root), d2.committee(&root));
+    }
+
+    #[test]
+    fn schedule_length() {
+        let (index, dir) = setup(64, 4, 1);
+        let cfg = LeaderElectionConfig::default();
+        let p: LeaderElection<Average> =
+            LeaderElection::new(MemberId(0), 1.0, index.clone(), dir, cfg);
+        let h = index.hierarchy();
+        assert_eq!(
+            p.schedule_rounds(),
+            ((h.phases() + h.depth() + 1) as u32 * cfg.phase_len) as Round
+        );
+    }
+}

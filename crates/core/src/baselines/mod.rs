@@ -1,0 +1,27 @@
+//! Baseline protocols the paper compares against.
+//!
+//! * [`flood::Flood`] — §4's fully distributed solution: every member
+//!   sends its vote to every other member. Optimal only without loss;
+//!   `O(N²)` messages, `O(N)` time under the bandwidth constraint.
+//! * [`central::Centralized`] — §5's leader solution: gather at a
+//!   well-known leader, then disseminate. `O(N)` messages but message
+//!   implosion at the leader and total loss of the run if the leader
+//!   crashes.
+//! * [`leader::LeaderElection`] — §6.2's hierarchical leader election on
+//!   the Grid Box Hierarchy, with single leaders or a `K′` committee per
+//!   subtree. Scalable but fragile: a crashed subtree leader silently
+//!   loses `≈ K^i` votes.
+//! * [`flatgossip::FlatGossip`] — gossip *without* the hierarchy: all
+//!   `N` individual votes must spread through the whole group within the
+//!   same round budget. The ablation that motivates the Grid Box
+//!   Hierarchy.
+
+pub mod central;
+pub mod flatgossip;
+pub mod flood;
+pub mod leader;
+
+pub use central::{Centralized, CentralizedConfig};
+pub use flatgossip::{FlatGossip, FlatGossipConfig};
+pub use flood::{Flood, FloodConfig};
+pub use leader::{LeaderDirectory, LeaderElection, LeaderElectionConfig};

@@ -1,0 +1,193 @@
+//! Multi-run experiments: parameter sweeps with parallel seeds.
+//!
+//! "Each point in these plots is the average of several runs of the
+//! protocol" (§7). [`run_many`] executes a run function over seeds
+//! `base..base+runs` in parallel (crossbeam scoped threads) and
+//! [`summarize`] folds the reports into the statistics the figures plot.
+
+use serde::Serialize;
+
+use crate::metrics::RunReport;
+
+/// Aggregated statistics over a batch of runs at one parameter point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of runs.
+    pub runs: usize,
+    /// Mean of per-run mean incompleteness (the figures' y-axis).
+    pub mean_incompleteness: f64,
+    /// Sample standard deviation of per-run mean incompleteness.
+    pub std_incompleteness: f64,
+    /// Mean of per-run mean completeness (over completed members).
+    pub mean_completeness: f64,
+    /// Mean messages per run (message complexity).
+    pub mean_messages: f64,
+    /// Mean rounds to last completion (time complexity).
+    pub mean_rounds: f64,
+    /// Mean relative value error versus ground truth.
+    pub mean_value_error: f64,
+    /// Mean fraction of members that crashed.
+    pub mean_crashed: f64,
+}
+
+/// Run `f(seed)` for `runs` seeds starting at `base_seed`, in parallel.
+///
+/// Reports come back ordered by seed, so the result is independent of
+/// thread scheduling.
+///
+/// ```
+/// use gridagg_core::{run_many, summarize};
+/// use gridagg_core::config::ExperimentConfig;
+/// use gridagg_core::runner::run_hiergossip;
+/// use gridagg_aggregate::Average;
+///
+/// let cfg = ExperimentConfig::paper_defaults().with_n(32);
+/// let reports = run_many(4, 1, |seed| run_hiergossip::<Average>(&cfg, seed));
+/// let summary = summarize(&reports);
+/// assert_eq!(summary.runs, 4);
+/// assert!(summary.mean_completeness > 0.5);
+/// ```
+pub fn run_many<F>(runs: usize, base_seed: u64, f: F) -> Vec<RunReport>
+where
+    F: Fn(u64) -> RunReport + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(runs.max(1));
+    let mut reports: Vec<Option<RunReport>> = (0..runs).map(|_| None).collect();
+    let chunk = runs.div_ceil(threads.max(1));
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in reports.chunks_mut(chunk.max(1)).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, s) in slot.iter_mut().enumerate() {
+                    let seed = base_seed + (t * chunk + i) as u64;
+                    *s = Some(f(seed));
+                }
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    reports
+        .into_iter()
+        .map(|r| r.expect("all runs filled"))
+        .collect()
+}
+
+/// Fold a batch of reports into a [`Summary`].
+///
+/// # Panics
+///
+/// Panics if `reports` is empty.
+pub fn summarize(reports: &[RunReport]) -> Summary {
+    assert!(!reports.is_empty(), "summarize needs at least one run");
+    let runs = reports.len();
+    let incs: Vec<f64> = reports.iter().map(|r| r.mean_incompleteness()).collect();
+    let mean_inc = incs.iter().sum::<f64>() / runs as f64;
+    let var = if runs > 1 {
+        incs.iter().map(|x| (x - mean_inc).powi(2)).sum::<f64>() / (runs - 1) as f64
+    } else {
+        0.0
+    };
+    let mean_of =
+        |g: &dyn Fn(&RunReport) -> f64| -> f64 { reports.iter().map(g).sum::<f64>() / runs as f64 };
+    Summary {
+        runs,
+        mean_incompleteness: mean_inc,
+        std_incompleteness: var.sqrt(),
+        mean_completeness: mean_of(&|r| r.mean_completeness().unwrap_or(0.0)),
+        mean_messages: mean_of(&|r| r.messages() as f64),
+        mean_rounds: mean_of(&|r| r.last_completion().unwrap_or(r.rounds) as f64),
+        mean_value_error: mean_of(&|r| r.mean_value_error().unwrap_or(0.0)),
+        mean_crashed: mean_of(&|r| r.crashed() as f64 / r.n as f64),
+    }
+}
+
+/// A labelled series of `(x, summary)` points — one figure curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Curve label (e.g. `"K=4,M=2"`).
+    pub label: String,
+    /// Sweep points.
+    pub points: Vec<(f64, Summary)>,
+}
+
+impl Series {
+    /// Create an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, summary: Summary) {
+        self.points.push((x, summary));
+    }
+
+    /// The incompleteness values, in sweep order.
+    pub fn incompleteness(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|(_, s)| s.mean_incompleteness)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::runner::run_hiergossip;
+    use gridagg_aggregate::Average;
+
+    #[test]
+    fn run_many_is_ordered_and_deterministic() {
+        let cfg = ExperimentConfig::default().with_n(32);
+        let a = run_many(4, 100, |seed| run_hiergossip::<Average>(&cfg, seed));
+        let b = run_many(4, 100, |seed| run_hiergossip::<Average>(&cfg, seed));
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.net.sent, y.net.sent);
+            assert_eq!(x.mean_incompleteness(), y.mean_incompleteness());
+        }
+    }
+
+    #[test]
+    fn summarize_folds() {
+        let cfg = {
+            let mut c = ExperimentConfig::default().with_n(32).with_ucastl(0.0);
+            c.pf = 0.0;
+            c
+        };
+        let reports = run_many(3, 7, |seed| run_hiergossip::<Average>(&cfg, seed));
+        let s = summarize(&reports);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.mean_incompleteness, 0.0);
+        assert_eq!(s.mean_completeness, 1.0);
+        assert!(s.mean_messages > 0.0);
+        assert!(s.mean_rounds > 0.0);
+        assert_eq!(s.mean_crashed, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn summarize_empty_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn series_accumulates() {
+        let cfg = ExperimentConfig::default().with_n(32);
+        let mut series = Series::new("test");
+        for (i, n) in [32usize, 64].iter().enumerate() {
+            let c = cfg.with_n(*n);
+            let reports = run_many(2, i as u64 * 10, |s| run_hiergossip::<Average>(&c, s));
+            series.push(*n as f64, summarize(&reports));
+        }
+        assert_eq!(series.points.len(), 2);
+        assert_eq!(series.incompleteness().len(), 2);
+    }
+}

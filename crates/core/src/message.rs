@@ -1,0 +1,351 @@
+//! Protocol messages and their wire sizes.
+//!
+//! All protocols in this crate exchange the same small message
+//! vocabulary, so the engine and the network layer can be shared. The
+//! paper's constant-message-size assumption is honoured: a message
+//! carries one vote, one subtree aggregate, one final result, or a
+//! *bounded* batch — at most `K` child aggregates, or the votes of one
+//! grid box (expected `K`) — never anything that grows with `N`. (The
+//! `Tagged` contributor bitset is simulation instrumentation and is
+//! excluded from wire-size accounting; see `gridagg-aggregate::wire`.)
+
+use gridagg_aggregate::wire::WireAggregate;
+use gridagg_aggregate::Tagged;
+use gridagg_group::MemberId;
+use gridagg_hierarchy::Addr;
+
+/// A protocol message payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload<A> {
+    /// One member's vote, with the identifier of the member whose vote it
+    /// is (phase-1 gossip; also flood/centralized gather traffic).
+    Vote {
+        /// Whose vote this is (not necessarily the sender: phase-1
+        /// gossip relays known votes).
+        member: MemberId,
+        /// The vote value.
+        value: f64,
+    },
+    /// The aggregate for one subtree (phase ≥ 2 gossip; leader-election
+    /// upward traffic).
+    Agg {
+        /// The subtree this aggregate summarizes.
+        subtree: Addr,
+        /// The aggregate (instrumented with its contributor set).
+        agg: Tagged<A>,
+    },
+    /// The final group-wide result, disseminated by centralized /
+    /// leader-election protocols.
+    Final {
+        /// The group aggregate.
+        agg: Tagged<A>,
+    },
+    /// A batch of known votes (phase-1 batch gossip). Bounded by the
+    /// grid box size (expected `K`), so still constant-size in `N`.
+    VoteBatch {
+        /// `(owner, vote)` pairs.
+        votes: Vec<(MemberId, f64)>,
+        /// Whether this is a reactive reply to a push (replies are never
+        /// answered, so exchanges terminate).
+        reply: bool,
+    },
+    /// A batch of known child-subtree aggregates (phase ≥ 2 batch
+    /// gossip). Bounded by `K` entries — constant-size in `N`.
+    AggBatch {
+        /// `(subtree, aggregate)` pairs.
+        aggs: Vec<(Addr, Tagged<A>)>,
+        /// Whether this is a reactive reply to a push.
+        reply: bool,
+    },
+}
+
+impl<A: WireAggregate> Payload<A> {
+    /// Serialized size in bytes, for network byte accounting: a one-byte
+    /// discriminant plus the variant body. Aggregate bodies use their
+    /// [`WireAggregate::wire_size`]; empty aggregates (which a real
+    /// implementation would never ship) count the discriminant only.
+    pub fn wire_size(&self) -> u32 {
+        let body = match self {
+            Payload::Vote { .. } => 4 + 8,
+            Payload::Agg { subtree, agg } => {
+                2 + subtree.len() as u32 + agg.aggregate().map_or(0, |a| a.wire_size() as u32)
+            }
+            Payload::Final { agg } => agg.aggregate().map_or(0, |a| a.wire_size() as u32),
+            Payload::VoteBatch { votes, .. } => 2 + votes.len() as u32 * 12,
+            Payload::AggBatch { aggs, .. } => {
+                2 + aggs
+                    .iter()
+                    .map(|(addr, agg)| {
+                        2 + addr.len() as u32 + agg.aggregate().map_or(0, |a| a.wire_size() as u32)
+                    })
+                    .sum::<u32>()
+            }
+        };
+        1 + body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_aggregate::Average;
+
+    fn addr() -> Addr {
+        Addr::from_digits(4, &[1, 2]).unwrap()
+    }
+
+    #[test]
+    fn vote_size_is_constant() {
+        let p: Payload<Average> = Payload::Vote {
+            member: MemberId(3),
+            value: 1.5,
+        };
+        assert_eq!(p.wire_size(), 13);
+    }
+
+    #[test]
+    fn agg_size_bounded_regardless_of_votes() {
+        let mut t = Tagged::<Average>::from_vote(0, 1.0, 1000);
+        let one = Payload::Agg {
+            subtree: addr(),
+            agg: t.clone(),
+        }
+        .wire_size();
+        for i in 1..500 {
+            t.try_merge(&Tagged::from_vote(i, i as f64, 1000)).unwrap();
+        }
+        let many = Payload::Agg {
+            subtree: addr(),
+            agg: t,
+        }
+        .wire_size();
+        assert_eq!(one, many, "aggregate wire size must not grow with votes");
+        assert!(many < 64);
+    }
+
+    #[test]
+    fn batch_sizes_bounded_by_entry_count() {
+        let votes: Vec<(MemberId, f64)> = (0..4).map(|i| (MemberId(i), i as f64)).collect();
+        let p: Payload<Average> = Payload::VoteBatch {
+            votes,
+            reply: false,
+        };
+        assert_eq!(p.wire_size(), 1 + 2 + 4 * 12);
+        let aggs = vec![
+            (addr(), Tagged::<Average>::from_vote(0, 1.0, 8)),
+            (addr(), Tagged::<Average>::from_vote(1, 2.0, 8)),
+        ];
+        let p = Payload::AggBatch { aggs, reply: true };
+        assert_eq!(p.wire_size(), 1 + 2 + 2 * (2 + 2 + 16));
+    }
+
+    #[test]
+    fn final_size() {
+        let t = Tagged::<Average>::from_vote(0, 1.0, 10);
+        let p = Payload::Final { agg: t };
+        assert_eq!(p.wire_size(), 1 + 16);
+        let empty = Payload::Final {
+            agg: Tagged::<Average>::empty(10),
+        };
+        assert_eq!(empty.wire_size(), 1);
+    }
+}
+
+/// Binary codec for protocol payloads — used by the real-network
+/// runtime (`gridagg-runtime`) and by transport tests. Aggregate values
+/// use their constant-size [`WireAggregate`] form; `Tagged` contributor
+/// sets ride along for exact completeness measurement (see
+/// `gridagg_aggregate::wire::encode_tagged` for the size caveat).
+pub mod codec {
+    use bytes::{Buf, BufMut};
+    use gridagg_aggregate::wire::{decode_tagged, encode_tagged, WireAggregate, WireError};
+    use gridagg_group::MemberId;
+    use gridagg_hierarchy::Addr;
+
+    use super::Payload;
+
+    const TAG_VOTE: u8 = 1;
+    const TAG_AGG: u8 = 2;
+    const TAG_FINAL: u8 = 3;
+    const TAG_VOTE_BATCH: u8 = 4;
+    const TAG_AGG_BATCH: u8 = 5;
+
+    fn put_addr<B: BufMut>(addr: &Addr, buf: &mut B) {
+        buf.put_u8(addr.base());
+        buf.put_u8(addr.len() as u8);
+        for &d in addr.digits() {
+            buf.put_u8(d);
+        }
+    }
+
+    fn get_addr<B: Buf>(buf: &mut B) -> Result<Addr, WireError> {
+        if buf.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        let base = buf.get_u8();
+        let len = buf.get_u8() as usize;
+        if buf.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let mut digits = Vec::with_capacity(len);
+        for _ in 0..len {
+            digits.push(buf.get_u8());
+        }
+        Addr::from_digits(base, &digits).map_err(|_| WireError::Malformed)
+    }
+
+    /// Serialize a payload.
+    pub fn encode<A: WireAggregate, B: BufMut>(payload: &Payload<A>, buf: &mut B) {
+        match payload {
+            Payload::Vote { member, value } => {
+                buf.put_u8(TAG_VOTE);
+                buf.put_u32(member.0);
+                buf.put_f64(*value);
+            }
+            Payload::Agg { subtree, agg } => {
+                buf.put_u8(TAG_AGG);
+                put_addr(subtree, buf);
+                encode_tagged(agg, buf);
+            }
+            Payload::Final { agg } => {
+                buf.put_u8(TAG_FINAL);
+                encode_tagged(agg, buf);
+            }
+            Payload::VoteBatch { votes, reply } => {
+                buf.put_u8(TAG_VOTE_BATCH);
+                buf.put_u8(u8::from(*reply));
+                buf.put_u16(votes.len() as u16);
+                for (m, v) in votes {
+                    buf.put_u32(m.0);
+                    buf.put_f64(*v);
+                }
+            }
+            Payload::AggBatch { aggs, reply } => {
+                buf.put_u8(TAG_AGG_BATCH);
+                buf.put_u8(u8::from(*reply));
+                buf.put_u16(aggs.len() as u16);
+                for (addr, agg) in aggs {
+                    put_addr(addr, buf);
+                    encode_tagged(agg, buf);
+                }
+            }
+        }
+    }
+
+    /// Deserialize a payload written by [`encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or malformed input.
+    pub fn decode<A: WireAggregate, B: Buf>(buf: &mut B) -> Result<Payload<A>, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        match buf.get_u8() {
+            TAG_VOTE => {
+                if buf.remaining() < 12 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Payload::Vote {
+                    member: MemberId(buf.get_u32()),
+                    value: buf.get_f64(),
+                })
+            }
+            TAG_AGG => Ok(Payload::Agg {
+                subtree: get_addr(buf)?,
+                agg: decode_tagged(buf)?,
+            }),
+            TAG_FINAL => Ok(Payload::Final {
+                agg: decode_tagged(buf)?,
+            }),
+            TAG_VOTE_BATCH => {
+                if buf.remaining() < 3 {
+                    return Err(WireError::Truncated);
+                }
+                let reply = buf.get_u8() != 0;
+                let count = buf.get_u16() as usize;
+                let mut votes = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    if buf.remaining() < 12 {
+                        return Err(WireError::Truncated);
+                    }
+                    votes.push((MemberId(buf.get_u32()), buf.get_f64()));
+                }
+                Ok(Payload::VoteBatch { votes, reply })
+            }
+            TAG_AGG_BATCH => {
+                if buf.remaining() < 3 {
+                    return Err(WireError::Truncated);
+                }
+                let reply = buf.get_u8() != 0;
+                let count = buf.get_u16() as usize;
+                let mut aggs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    aggs.push((get_addr(buf)?, decode_tagged(buf)?));
+                }
+                Ok(Payload::AggBatch { aggs, reply })
+            }
+            _ => Err(WireError::Malformed),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use gridagg_aggregate::{Average, Tagged};
+
+        fn roundtrip(p: Payload<Average>) {
+            let mut buf = Vec::new();
+            encode(&p, &mut buf);
+            let back: Payload<Average> = decode(&mut buf.as_slice()).expect("decode");
+            assert_eq!(back, p);
+        }
+
+        #[test]
+        fn all_variants_roundtrip() {
+            let addr = Addr::from_digits(4, &[2, 1]).unwrap();
+            let mut tagged = Tagged::<Average>::from_vote(5, 2.5, 64);
+            tagged.try_merge(&Tagged::from_vote(9, 7.5, 64)).unwrap();
+            roundtrip(Payload::Vote {
+                member: MemberId(7),
+                value: -1.25,
+            });
+            roundtrip(Payload::Agg {
+                subtree: addr,
+                agg: tagged.clone(),
+            });
+            roundtrip(Payload::Final {
+                agg: tagged.clone(),
+            });
+            roundtrip(Payload::VoteBatch {
+                votes: vec![(MemberId(1), 1.0), (MemberId(2), 2.0)],
+                reply: true,
+            });
+            roundtrip(Payload::AggBatch {
+                aggs: vec![(addr, tagged)],
+                reply: false,
+            });
+        }
+
+        #[test]
+        fn junk_is_rejected_not_panicking() {
+            for len in 0..32 {
+                let junk = vec![0xFFu8; len];
+                let r: Result<Payload<Average>, _> = decode(&mut junk.as_slice());
+                assert!(r.is_err());
+            }
+        }
+
+        #[test]
+        fn empty_batches_roundtrip() {
+            roundtrip(Payload::VoteBatch {
+                votes: vec![],
+                reply: false,
+            });
+            roundtrip(Payload::AggBatch {
+                aggs: vec![],
+                reply: true,
+            });
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-run measurements: the paper's three metrics.
+//!
+//! * **Completeness** — fraction of the `N` (initial) member votes
+//!   included in the final estimate at each member; the headline y-axis
+//!   (as *incompleteness*) of Figures 6–11.
+//! * **Message complexity** — total messages handed to the network.
+//! * **Time complexity** — rounds until the last surviving member
+//!   terminated.
+
+use gridagg_simnet::stats::NetworkStats;
+use gridagg_simnet::Round;
+
+/// Outcome of one member at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MemberOutcome {
+    /// Terminated with an estimate covering this fraction of the group's
+    /// votes, with this summary value, at this round.
+    Completed {
+        /// Fraction of the N initial votes included.
+        completeness: f64,
+        /// The estimate's headline value.
+        value: f64,
+        /// Termination round.
+        at: Round,
+    },
+    /// Crashed before terminating.
+    Crashed,
+    /// Still running when the simulation hit its round cap.
+    TimedOut,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Initial group size `N`.
+    pub n: usize,
+    /// Rounds the simulation executed.
+    pub rounds: Round,
+    /// Per-member outcomes, indexed by member id.
+    pub outcomes: Vec<MemberOutcome>,
+    /// Ground-truth aggregate value over all `N` votes.
+    pub true_value: f64,
+    /// Network accounting for the run.
+    pub net: NetworkStats,
+}
+
+impl RunReport {
+    /// Members that terminated with an estimate.
+    pub fn completed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, MemberOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Members that crashed during the run.
+    pub fn crashed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, MemberOutcome::Crashed))
+            .count()
+    }
+
+    /// Mean completeness over members that completed (`None` if nobody
+    /// did).
+    pub fn mean_completeness(&self) -> Option<f64> {
+        let (sum, cnt) = self.outcomes.iter().fold((0.0, 0usize), |(s, c), o| {
+            if let MemberOutcome::Completed { completeness, .. } = o {
+                (s + completeness, c + 1)
+            } else {
+                (s, c)
+            }
+        });
+        (cnt > 0).then(|| sum / cnt as f64)
+    }
+
+    /// Mean incompleteness `1 − completeness` over completed members
+    /// (the paper's y-axis); `1.0` when nobody completed.
+    pub fn mean_incompleteness(&self) -> f64 {
+        self.mean_completeness().map_or(1.0, |c| 1.0 - c)
+    }
+
+    /// Worst completeness over completed members.
+    pub fn min_completeness(&self) -> Option<f64> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                MemberOutcome::Completed { completeness, .. } => Some(*completeness),
+                _ => None,
+            })
+            .min_by(f64::total_cmp)
+    }
+
+    /// Mean absolute error of completed members' values versus ground
+    /// truth, normalised by the truth's magnitude (`None` if nobody
+    /// completed or the truth is ~0).
+    pub fn mean_value_error(&self) -> Option<f64> {
+        if self.true_value.abs() < 1e-12 {
+            return None;
+        }
+        let (sum, cnt) = self.outcomes.iter().fold((0.0, 0usize), |(s, c), o| {
+            if let MemberOutcome::Completed { value, .. } = o {
+                (s + (value - self.true_value).abs(), c + 1)
+            } else {
+                (s, c)
+            }
+        });
+        (cnt > 0).then(|| sum / cnt as f64 / self.true_value.abs())
+    }
+
+    /// Round by which the last completing member terminated (`None` if
+    /// nobody completed).
+    pub fn last_completion(&self) -> Option<Round> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match o {
+                MemberOutcome::Completed { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Total messages handed to the network (message complexity).
+    pub fn messages(&self) -> u64 {
+        self.net.sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            n: 4,
+            rounds: 20,
+            outcomes: vec![
+                MemberOutcome::Completed {
+                    completeness: 1.0,
+                    value: 10.0,
+                    at: 18,
+                },
+                MemberOutcome::Completed {
+                    completeness: 0.5,
+                    value: 12.0,
+                    at: 15,
+                },
+                MemberOutcome::Crashed,
+                MemberOutcome::TimedOut,
+            ],
+            true_value: 10.0,
+            net: NetworkStats {
+                sent: 100,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let r = report();
+        assert_eq!(r.completed(), 2);
+        assert_eq!(r.crashed(), 1);
+        assert_eq!(r.messages(), 100);
+    }
+
+    #[test]
+    fn completeness_stats() {
+        let r = report();
+        assert!((r.mean_completeness().unwrap() - 0.75).abs() < 1e-12);
+        assert!((r.mean_incompleteness() - 0.25).abs() < 1e-12);
+        assert_eq!(r.min_completeness(), Some(0.5));
+    }
+
+    #[test]
+    fn value_error() {
+        let r = report();
+        // errors: 0 and 2 → mean 1 → /10 = 0.1
+        assert!((r.mean_value_error().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_completion() {
+        assert_eq!(report().last_completion(), Some(18));
+    }
+
+    #[test]
+    fn empty_run_degenerates() {
+        let r = RunReport {
+            n: 2,
+            rounds: 5,
+            outcomes: vec![MemberOutcome::Crashed, MemberOutcome::Crashed],
+            true_value: 0.0,
+            net: NetworkStats::default(),
+        };
+        assert_eq!(r.mean_completeness(), None);
+        assert_eq!(r.mean_incompleteness(), 1.0);
+        assert_eq!(r.min_completeness(), None);
+        assert_eq!(r.mean_value_error(), None);
+        assert_eq!(r.last_completion(), None);
+    }
+}

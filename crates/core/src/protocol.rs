@@ -1,0 +1,138 @@
+//! The protocol abstraction driven by the simulation engine.
+//!
+//! Each group member runs one [`AggregationProtocol`] instance. The
+//! engine calls [`AggregationProtocol::on_message`] for every delivered
+//! message and [`AggregationProtocol::on_round`] once per gossip round
+//! while the member is alive; protocols emit messages through the
+//! [`Outbox`]. When a protocol is done it exposes its [`estimate`] — the
+//! member's view of the global aggregate.
+//!
+//! [`estimate`]: AggregationProtocol::estimate
+
+use gridagg_aggregate::Tagged;
+use gridagg_group::MemberId;
+use gridagg_simnet::rng::DetRng;
+use gridagg_simnet::Round;
+
+use crate::message::Payload;
+
+/// Messages a member wants to send this round.
+#[derive(Debug)]
+pub struct Outbox<A> {
+    msgs: Vec<(MemberId, Payload<A>)>,
+}
+
+impl<A> Outbox<A> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        Outbox { msgs: Vec::new() }
+    }
+
+    /// Queue a message to `to`.
+    pub fn send(&mut self, to: MemberId, payload: Payload<A>) {
+        self.msgs.push((to, payload));
+    }
+
+    /// Queue the same payload to several destinations (gossip fanout).
+    pub fn send_many(&mut self, to: impl IntoIterator<Item = MemberId>, payload: Payload<A>)
+    where
+        A: Clone,
+    {
+        for dest in to {
+            self.msgs.push((dest, payload.clone()));
+        }
+    }
+
+    /// Drain the queued messages.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, (MemberId, Payload<A>)> {
+        self.msgs.drain(..)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether the outbox is empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+impl<A> Default for Outbox<A> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+/// Per-call context handed to the protocol by the engine.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The current gossip round.
+    pub round: Round,
+    /// This member's private random stream.
+    pub rng: &'a mut DetRng,
+}
+
+/// A one-shot aggregation protocol instance at one group member.
+pub trait AggregationProtocol<A>: std::fmt::Debug {
+    /// Called once per round while the member is alive, *after* this
+    /// round's message deliveries. Emit gossip through `out`.
+    fn on_round(&mut self, ctx: &mut Ctx<'_>, out: &mut Outbox<A>);
+
+    /// Called for each message delivered to this member (if alive).
+    fn on_message(
+        &mut self,
+        from: MemberId,
+        payload: Payload<A>,
+        ctx: &mut Ctx<'_>,
+        out: &mut Outbox<A>,
+    );
+
+    /// The member's current estimate of the global aggregate, if it has
+    /// produced one. Completeness is measured on this.
+    fn estimate(&self) -> Option<&Tagged<A>>;
+
+    /// Whether this member's protocol run has terminated.
+    fn is_done(&self) -> bool;
+
+    /// The round in which the protocol terminated, if it has.
+    fn completed_at(&self) -> Option<Round>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_aggregate::Average;
+
+    #[test]
+    fn outbox_queues_and_drains() {
+        let mut out: Outbox<Average> = Outbox::new();
+        assert!(out.is_empty());
+        out.send(
+            MemberId(1),
+            Payload::Vote {
+                member: MemberId(0),
+                value: 1.0,
+            },
+        );
+        out.send_many(
+            [MemberId(2), MemberId(3)],
+            Payload::Vote {
+                member: MemberId(0),
+                value: 1.0,
+            },
+        );
+        assert_eq!(out.len(), 3);
+        let drained: Vec<_> = out.drain().collect();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[1].0, MemberId(2));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let out: Outbox<Average> = Outbox::default();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for gridagg-core's structural invariants: the scope
+//! index partition, leader-directory nesting, and protocol determinism
+//! under randomized shapes.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use gridagg_core::baselines::{LeaderDirectory, LeaderElectionConfig};
+use gridagg_core::scope::ScopeIndex;
+use gridagg_group::view::View;
+use gridagg_group::MemberId;
+use gridagg_hierarchy::{Addr, FairHashPlacement, Hierarchy};
+
+fn index_for(n: usize, k: u8, salt: u64) -> Arc<ScopeIndex> {
+    let h = Hierarchy::for_group(k, n).expect("valid shape");
+    ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, salt))
+}
+
+proptest! {
+    /// Every prefix level partitions the membership exactly: the union
+    /// of sibling subtrees equals the parent, with no overlap.
+    #[test]
+    fn scope_index_partitions_at_every_level(
+        n in 4usize..600,
+        k in 2u8..8,
+        salt in any::<u64>(),
+    ) {
+        let index = index_for(n, k, salt);
+        let h = *index.hierarchy();
+        for len in 0..h.depth() {
+            for i in 0..(h.k() as u64).pow(len as u32) {
+                let parent = Addr::from_index(h.k(), len, i).expect("prefix");
+                let parent_count = index.count_in(&parent);
+                let child_sum: usize = parent.children().map(|c| index.count_in(&c)).sum();
+                prop_assert_eq!(parent_count, child_sum, "prefix {} at len {}", parent, len);
+            }
+        }
+        let root = Addr::root(h.k()).expect("root");
+        prop_assert_eq!(index.count_in(&root), n);
+    }
+
+    /// Every member is in exactly the subtree chain its own box implies.
+    #[test]
+    fn members_live_in_their_own_chain(
+        n in 4usize..400,
+        k in 2u8..6,
+        salt in any::<u64>(),
+    ) {
+        let index = index_for(n, k, salt);
+        let h = *index.hierarchy();
+        for id in (0..n as u32).step_by(7) {
+            let m = MemberId(id);
+            let b = index.box_of(m);
+            for len in 0..=h.depth() {
+                let prefix = b.prefix(len);
+                prop_assert!(
+                    index.members_in(&prefix).contains(&m),
+                    "{m} missing from its own prefix {prefix}"
+                );
+            }
+        }
+    }
+
+    /// Leader committees nest: a committee member of any prefix is a
+    /// committee member of its own child subtree as well, and committees
+    /// are drawn from the subtree they lead.
+    #[test]
+    fn leader_committees_nest_and_belong(
+        n in 8usize..400,
+        k in 2u8..6,
+        committee in 1usize..4,
+        salt in any::<u64>(),
+    ) {
+        let index = index_for(n, k, salt);
+        let h = *index.hierarchy();
+        let cfg = LeaderElectionConfig {
+            committee,
+            ..Default::default()
+        };
+        let dir = LeaderDirectory::build(&index, &cfg);
+        for len in 0..=h.depth() {
+            for i in 0..(h.k() as u64).pow(len as u32) {
+                let p = Addr::from_index(h.k(), len, i).expect("prefix");
+                let c = dir.committee(&p);
+                let population = index.count_in(&p);
+                prop_assert_eq!(c.len(), committee.min(population), "prefix {}", p);
+                for &m in c {
+                    prop_assert!(p.contains(&index.box_of(m)));
+                    if len < h.depth() {
+                        let child = index.box_of(m).prefix(len + 1);
+                        prop_assert!(
+                            dir.is_committee(&child, m),
+                            "{m} leads {p} but not its child {child}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full simulation determinism across arbitrary shapes: identical
+    /// (config, seed) inputs produce byte-identical outcomes.
+    #[test]
+    fn random_shapes_are_deterministic(
+        n in 8usize..200,
+        k in 2u8..8,
+        ucastl in 0.0f64..0.7,
+        pf in 0.0f64..0.01,
+        seed in any::<u64>(),
+    ) {
+        use gridagg_aggregate::Average;
+        use gridagg_core::config::ExperimentConfig;
+        use gridagg_core::runner::run_hiergossip;
+
+        let mut cfg = ExperimentConfig::paper_defaults().with_n(n).with_ucastl(ucastl);
+        cfg.k = k;
+        cfg.pf = pf;
+        let seed = seed % 1_000_003;
+        let a = run_hiergossip::<Average>(&cfg, seed);
+        let b = run_hiergossip::<Average>(&cfg, seed);
+        prop_assert_eq!(a.rounds, b.rounds);
+        prop_assert_eq!(a.net.sent, b.net.sent);
+        prop_assert_eq!(a.outcomes, b.outcomes);
+    }
+}

@@ -1,0 +1,274 @@
+//! # gridagg-group
+//!
+//! Group membership for the aggregation protocols: who is in the group,
+//! what each member votes, which members each member *knows about* (its
+//! **view**), and how members fail.
+//!
+//! The paper's model (§2): members have globally unique identifiers, may
+//! "arbitrarily suffer crash failures and then recover", and each
+//! maintains "a view, a list of other group members it knows about"; the
+//! analysis assumes complete views but the protocol does not require
+//! them. Its simulations (§7) crash members *without recovery* with
+//! probability `pf` per gossip round.
+//!
+//! * [`Group`] / [`GroupBuilder`] — the simulated membership with votes
+//!   and (optionally) 2-D positions.
+//! * [`view::View`] — complete or sampled-partial membership views.
+//! * [`failure::FailureModel`] / [`failure::FailureProcess`] — crash
+//!   (and optional recovery) injection per round.
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+pub mod failure;
+pub mod view;
+
+use gridagg_simnet::rng::DetRng;
+use gridagg_simnet::topology::{make_field, FieldKind, Position};
+
+/// A group member's identifier — re-exported from the simulator layer so
+/// ids are shared across crates.
+pub use gridagg_simnet::NodeId as MemberId;
+
+/// How member votes are generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VoteDistribution {
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Gaussian with the given mean and standard deviation
+    /// (Box–Muller from the deterministic RNG).
+    Gaussian {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Every member votes its own index (makes "who was included"
+    /// visible in sums — handy in tests).
+    Index,
+}
+
+impl VoteDistribution {
+    fn sample(&self, index: usize, rng: &mut DetRng) -> f64 {
+        match *self {
+            VoteDistribution::Uniform { lo, hi } => lo + rng.unit() * (hi - lo),
+            VoteDistribution::Gaussian { mean, std_dev } => {
+                let u1 = rng.unit().max(1e-12);
+                let u2 = rng.unit();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std_dev * z
+            }
+            VoteDistribution::Index => index as f64,
+        }
+    }
+}
+
+/// One group member: identity, vote, optional position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Member {
+    /// The member's identifier.
+    pub id: MemberId,
+    /// The member's vote (`v_i` in the paper).
+    pub vote: f64,
+    /// Physical position, when the group models a sensor field.
+    pub position: Option<Position>,
+}
+
+/// A simulated process group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    members: Vec<Member>,
+}
+
+impl Group {
+    /// Number of members `N`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, indexed by [`MemberId`].
+    pub fn members(&self) -> &[Member] {
+        &self.members
+    }
+
+    /// The member with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn member(&self, id: MemberId) -> &Member {
+        &self.members[id.index()]
+    }
+
+    /// All votes, indexed by member.
+    pub fn votes(&self) -> Vec<f64> {
+        self.members.iter().map(|m| m.vote).collect()
+    }
+
+    /// Positions, if the group was built over a field.
+    pub fn positions(&self) -> Option<Vec<Position>> {
+        self.members.iter().map(|m| m.position).collect()
+    }
+
+    /// The true global value of an aggregate over *all* votes — the
+    /// ground truth simulations compare protocol estimates against.
+    pub fn true_aggregate<A: gridagg_aggregate::Aggregate>(&self) -> A {
+        let mut it = self.members.iter();
+        let first = it.next().expect("group is non-empty");
+        let mut acc = A::from_vote(first.vote);
+        for m in it {
+            acc.merge(&A::from_vote(m.vote));
+        }
+        acc
+    }
+}
+
+/// Builder for [`Group`] (C-BUILDER): group size plus optional vote
+/// distribution and sensor field.
+///
+/// ```
+/// use gridagg_group::{GroupBuilder, VoteDistribution};
+///
+/// let group = GroupBuilder::new(100)
+///     .votes(VoteDistribution::Uniform { lo: 15.0, hi: 30.0 })
+///     .seed(7)
+///     .build();
+/// assert_eq!(group.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupBuilder {
+    n: usize,
+    votes: VoteDistribution,
+    field: Option<FieldKind>,
+    seed: u64,
+}
+
+impl GroupBuilder {
+    /// Start building a group of `n` members.
+    pub fn new(n: usize) -> Self {
+        GroupBuilder {
+            n,
+            votes: VoteDistribution::Uniform { lo: 0.0, hi: 100.0 },
+            field: None,
+            seed: 0,
+        }
+    }
+
+    /// Set the vote distribution.
+    pub fn votes(mut self, votes: VoteDistribution) -> Self {
+        self.votes = votes;
+        self
+    }
+
+    /// Place members on a 2-D field of the given kind.
+    pub fn field(mut self, kind: FieldKind) -> Self {
+        self.field = Some(kind);
+        self
+    }
+
+    /// Set the RNG seed for votes and positions.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size is zero.
+    pub fn build(&self) -> Group {
+        assert!(self.n > 0, "group must have at least one member");
+        let mut vote_rng = DetRng::seeded(self.seed).fork(0x766F_7465); // "vote"
+        let mut pos_rng = DetRng::seeded(self.seed).fork(0x706F_7300); // "pos"
+        let positions = self
+            .field
+            .map(|kind| make_field(kind, self.n, &mut pos_rng));
+        let members = (0..self.n)
+            .map(|i| Member {
+                id: MemberId(i as u32),
+                vote: self.votes.sample(i, &mut vote_rng),
+                position: positions.as_ref().map(|p| p[i]),
+            })
+            .collect();
+        Group { members }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_aggregate::{Aggregate, Average, Min};
+
+    #[test]
+    fn builder_defaults() {
+        let g = GroupBuilder::new(10).build();
+        assert_eq!(g.len(), 10);
+        assert!(!g.is_empty());
+        assert!(g.positions().is_none());
+        for (i, m) in g.members().iter().enumerate() {
+            assert_eq!(m.id.index(), i);
+            assert!((0.0..=100.0).contains(&m.vote));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_per_seed() {
+        let a = GroupBuilder::new(20).seed(5).build();
+        let b = GroupBuilder::new(20).seed(5).build();
+        let c = GroupBuilder::new(20).seed(6).build();
+        assert_eq!(a.votes(), b.votes());
+        assert_ne!(a.votes(), c.votes());
+    }
+
+    #[test]
+    fn index_votes() {
+        let g = GroupBuilder::new(5).votes(VoteDistribution::Index).build();
+        assert_eq!(g.votes(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.member(MemberId(3)).vote, 3.0);
+    }
+
+    #[test]
+    fn gaussian_votes_concentrate() {
+        let g = GroupBuilder::new(4000)
+            .votes(VoteDistribution::Gaussian {
+                mean: 50.0,
+                std_dev: 5.0,
+            })
+            .seed(3)
+            .build();
+        let mean = g.votes().iter().sum::<f64>() / g.len() as f64;
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn field_positions_present() {
+        let g = GroupBuilder::new(16).field(FieldKind::Grid).build();
+        let pos = g.positions().expect("has positions");
+        assert_eq!(pos.len(), 16);
+    }
+
+    #[test]
+    fn true_aggregate_ground_truth() {
+        let g = GroupBuilder::new(4).votes(VoteDistribution::Index).build();
+        let avg: Average = g.true_aggregate();
+        assert_eq!(avg.summary(), 1.5);
+        let min: Min = g.true_aggregate();
+        assert_eq!(min.summary(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_group_panics() {
+        let _ = GroupBuilder::new(0).build();
+    }
+}

@@ -1,0 +1,133 @@
+//! Membership views.
+//!
+//! "Each member also maintains a *view*, a list of other group members it
+//! knows about. We assume henceforth that all members know about each
+//! other, although this can be relaxed in our final hierarchical
+//! gossiping solution" (§2). [`View`] models both: [`View::complete`]
+//! for the analysis setting and [`View::sampled`] partial views for the
+//! relaxation.
+
+use gridagg_simnet::rng::DetRng;
+
+use crate::MemberId;
+
+/// The set of members a given member knows about (always includes the
+/// owner itself).
+///
+/// ```
+/// use gridagg_group::view::View;
+/// use gridagg_group::MemberId;
+///
+/// let view = View::complete(4);
+/// assert!(view.contains(MemberId(3)));
+/// let evens = view.filtered(|m| m.0 % 2 == 0);
+/// assert_eq!(evens.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    members: Vec<MemberId>, // sorted, deduplicated
+}
+
+impl View {
+    /// The complete view over a group of `n` members.
+    pub fn complete(n: usize) -> Self {
+        View {
+            members: (0..n as u32).map(MemberId).collect(),
+        }
+    }
+
+    /// A partial view: the owner plus `size` members sampled uniformly
+    /// without replacement from the rest of a group of `n`.
+    pub fn sampled(owner: MemberId, n: usize, size: usize, rng: &mut DetRng) -> Self {
+        let picks = rng.sample_distinct(n, Some(owner.index()), size);
+        let mut members: Vec<MemberId> = picks.into_iter().map(|i| MemberId(i as u32)).collect();
+        members.push(owner);
+        members.sort_unstable();
+        members.dedup();
+        View { members }
+    }
+
+    /// Build a view from an explicit member list (sorted and deduped).
+    pub fn from_members(mut members: Vec<MemberId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        View { members }
+    }
+
+    /// Members in the view, ascending.
+    pub fn members(&self) -> &[MemberId] {
+        &self.members
+    }
+
+    /// Number of members in the view.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether the view contains `id`.
+    pub fn contains(&self, id: MemberId) -> bool {
+        self.members.binary_search(&id).is_ok()
+    }
+
+    /// The members of the view satisfying a predicate — e.g. "all the
+    /// members in its view that belong to `M_j`'s height-i subtree".
+    pub fn filtered(&self, mut keep: impl FnMut(MemberId) -> bool) -> Vec<MemberId> {
+        self.members.iter().copied().filter(|&m| keep(m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_view_has_everyone() {
+        let v = View::complete(5);
+        assert_eq!(v.len(), 5);
+        for i in 0..5u32 {
+            assert!(v.contains(MemberId(i)));
+        }
+        assert!(!v.contains(MemberId(5)));
+    }
+
+    #[test]
+    fn sampled_view_contains_owner_and_size() {
+        let mut rng = DetRng::seeded(8);
+        let v = View::sampled(MemberId(3), 100, 10, &mut rng);
+        assert!(v.contains(MemberId(3)));
+        assert_eq!(v.len(), 11);
+    }
+
+    #[test]
+    fn sampled_view_caps_at_group() {
+        let mut rng = DetRng::seeded(8);
+        let v = View::sampled(MemberId(0), 5, 50, &mut rng);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn from_members_dedupes_and_sorts() {
+        let v = View::from_members(vec![MemberId(3), MemberId(1), MemberId(3)]);
+        assert_eq!(v.members(), &[MemberId(1), MemberId(3)]);
+    }
+
+    #[test]
+    fn filtered_selects_subset() {
+        let v = View::complete(10);
+        let evens = v.filtered(|m| m.0 % 2 == 0);
+        assert_eq!(evens.len(), 5);
+        assert!(evens.iter().all(|m| m.0 % 2 == 0));
+    }
+
+    #[test]
+    fn empty_view() {
+        let v = View::from_members(vec![]);
+        assert!(v.is_empty());
+        assert_eq!(v.filtered(|_| true).len(), 0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Grid-box addresses and subtree prefixes.
+//!
+//! A grid box address is a fixed-length string of base-`K` digits (paper
+//! §6.1: "each grid box is assigned a unique `(log_K N − 1)`-digit address
+//! in base K"). A *prefix* of such an address names a subtree: the set of
+//! boxes whose addresses agree with it in the leading digits. The root is
+//! the empty prefix (displayed `**…*`), a full-length address is a single
+//! grid box.
+//!
+//! One type, [`Addr`], represents both: `len == depth` means a grid box,
+//! `len < depth` a proper subtree. Digits are stored most significant
+//! first.
+
+/// Maximum supported address depth (digits). `K^16` boxes at `K = 2` is
+/// 65 536 boxes — far beyond the paper's group sizes.
+pub const MAX_DEPTH: usize = 16;
+
+/// Errors from address construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrError {
+    /// A digit was `>= base`.
+    DigitOutOfRange {
+        /// The offending digit value.
+        digit: u8,
+        /// The base it must be below.
+        base: u8,
+    },
+    /// More than [`MAX_DEPTH`] digits requested.
+    TooDeep {
+        /// The requested length.
+        len: usize,
+    },
+    /// Base must be at least 2.
+    BadBase {
+        /// The requested base.
+        base: u8,
+    },
+}
+
+impl std::fmt::Display for AddrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AddrError::DigitOutOfRange { digit, base } => {
+                write!(f, "digit {digit} out of range for base {base}")
+            }
+            AddrError::TooDeep { len } => {
+                write!(f, "address length {len} exceeds maximum depth {MAX_DEPTH}")
+            }
+            AddrError::BadBase { base } => write!(f, "base {base} must be at least 2"),
+        }
+    }
+}
+
+impl std::error::Error for AddrError {}
+
+/// A base-`K` grid box address or subtree prefix (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    base: u8,
+    len: u8,
+    digits: [u8; MAX_DEPTH],
+}
+
+impl Addr {
+    /// The root prefix: the whole group (subtree `**…*` in the paper's
+    /// figures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddrError::BadBase`] for `base < 2`.
+    pub fn root(base: u8) -> Result<Self, AddrError> {
+        if base < 2 {
+            return Err(AddrError::BadBase { base });
+        }
+        Ok(Addr {
+            base,
+            len: 0,
+            digits: [0; MAX_DEPTH],
+        })
+    }
+
+    /// Build an address from explicit digits (most significant first).
+    ///
+    /// ```
+    /// use gridagg_hierarchy::Addr;
+    ///
+    /// let addr = Addr::from_digits(4, &[1, 0, 3])?;
+    /// assert_eq!(addr.to_string(), "103");
+    /// assert_eq!(addr.index(), 1 * 16 + 0 * 4 + 3);
+    /// # Ok::<(), gridagg_hierarchy::AddrError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the base is `< 2`, too many digits are given,
+    /// or any digit is `>= base`.
+    pub fn from_digits(base: u8, digits: &[u8]) -> Result<Self, AddrError> {
+        if base < 2 {
+            return Err(AddrError::BadBase { base });
+        }
+        if digits.len() > MAX_DEPTH {
+            return Err(AddrError::TooDeep { len: digits.len() });
+        }
+        let mut d = [0u8; MAX_DEPTH];
+        for (i, &digit) in digits.iter().enumerate() {
+            if digit >= base {
+                return Err(AddrError::DigitOutOfRange { digit, base });
+            }
+            d[i] = digit;
+        }
+        Ok(Addr {
+            base,
+            len: digits.len() as u8,
+            digits: d,
+        })
+    }
+
+    /// Build a full-length address from a box index in `[0, base^len)`,
+    /// most significant digit first (index 0 → `00…0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a bad base or excessive length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= base^len`.
+    pub fn from_index(base: u8, len: usize, index: u64) -> Result<Self, AddrError> {
+        if base < 2 {
+            return Err(AddrError::BadBase { base });
+        }
+        if len > MAX_DEPTH {
+            return Err(AddrError::TooDeep { len });
+        }
+        let capacity = (base as u64)
+            .checked_pow(len as u32)
+            .expect("base^len overflows u64");
+        assert!(
+            index < capacity,
+            "box index {index} out of range for {base}^{len} boxes"
+        );
+        let mut digits = [0u8; MAX_DEPTH];
+        let mut rest = index;
+        for slot in (0..len).rev() {
+            digits[slot] = (rest % base as u64) as u8;
+            rest /= base as u64;
+        }
+        Ok(Addr {
+            base,
+            len: len as u8,
+            digits,
+        })
+    }
+
+    /// The numeric index of this address among same-length addresses.
+    pub fn index(&self) -> u64 {
+        self.digits[..self.len as usize]
+            .iter()
+            .fold(0u64, |acc, &d| acc * self.base as u64 + d as u64)
+    }
+
+    /// The digit base `K`.
+    pub fn base(&self) -> u8 {
+        self.base
+    }
+
+    /// Number of digits.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` for the root prefix.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The digits, most significant first.
+    pub fn digits(&self) -> &[u8] {
+        &self.digits[..self.len as usize]
+    }
+
+    /// The digit at position `i` (0 = most significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn digit(&self, i: usize) -> u8 {
+        assert!(i < self.len as usize, "digit index {i} out of range");
+        self.digits[i]
+    }
+
+    /// The prefix consisting of the first `len` digits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn prefix(&self, len: usize) -> Addr {
+        assert!(len <= self.len as usize, "prefix longer than address");
+        let mut digits = [0u8; MAX_DEPTH];
+        digits[..len].copy_from_slice(&self.digits[..len]);
+        Addr {
+            base: self.base,
+            len: len as u8,
+            digits,
+        }
+    }
+
+    /// The parent subtree (one digit shorter), or `None` at the root.
+    pub fn parent(&self) -> Option<Addr> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(self.prefix(self.len as usize - 1))
+        }
+    }
+
+    /// Whether this prefix contains `other` (i.e. `other` starts with it
+    /// and uses the same base). A prefix contains itself.
+    pub fn contains(&self, other: &Addr) -> bool {
+        self.base == other.base
+            && self.len <= other.len
+            && self.digits[..self.len as usize] == other.digits[..self.len as usize]
+    }
+
+    /// The child prefix obtained by appending `digit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the digit is out of range or the address is
+    /// already [`MAX_DEPTH`] digits long.
+    pub fn child(&self, digit: u8) -> Result<Addr, AddrError> {
+        if digit >= self.base {
+            return Err(AddrError::DigitOutOfRange {
+                digit,
+                base: self.base,
+            });
+        }
+        if self.len as usize >= MAX_DEPTH {
+            return Err(AddrError::TooDeep {
+                len: self.len as usize + 1,
+            });
+        }
+        let mut digits = self.digits;
+        digits[self.len as usize] = digit;
+        Ok(Addr {
+            base: self.base,
+            len: self.len + 1,
+            digits,
+        })
+    }
+
+    /// Iterate over the `K` children of this prefix.
+    pub fn children(&self) -> impl Iterator<Item = Addr> + '_ {
+        (0..self.base).map(move |d| self.child(d).expect("child digit in range"))
+    }
+
+    /// Format with the given total depth, padding with `*` for the
+    /// unconstrained digits, exactly like the paper's figures (`0*`, `**`).
+    pub fn display_depth(&self, depth: usize) -> String {
+        let mut s = String::with_capacity(depth);
+        for i in 0..depth {
+            if i < self.len as usize {
+                // digits are < base <= 36; render 0-9 then a-z
+                let d = self.digits[i];
+                s.push(char::from_digit(d as u32, 36).unwrap_or('?'));
+            } else {
+                s.push('*');
+            }
+        }
+        if depth == 0 {
+            s.push('*');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len == 0 {
+            return f.write_str("*");
+        }
+        for &d in self.digits() {
+            write!(f, "{}", char::from_digit(d as u32, 36).unwrap_or('?'))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_digits_and_back() {
+        let a = Addr::from_digits(4, &[1, 0, 3]).unwrap();
+        assert_eq!(a.digits(), &[1, 0, 3]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.base(), 4);
+        assert_eq!(a.to_string(), "103");
+    }
+
+    #[test]
+    fn digit_validation() {
+        assert_eq!(
+            Addr::from_digits(2, &[0, 2]),
+            Err(AddrError::DigitOutOfRange { digit: 2, base: 2 })
+        );
+        assert_eq!(
+            Addr::from_digits(1, &[0]),
+            Err(AddrError::BadBase { base: 1 })
+        );
+        assert_eq!(
+            Addr::from_digits(2, &[0; 17]),
+            Err(AddrError::TooDeep { len: 17 })
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for base in [2u8, 3, 4, 8] {
+            let len = 3usize;
+            let boxes = (base as u64).pow(len as u32);
+            for idx in 0..boxes {
+                let a = Addr::from_index(base, len, idx).unwrap();
+                assert_eq!(a.index(), idx, "base {base} idx {idx}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_checks_capacity() {
+        let _ = Addr::from_index(2, 2, 4);
+    }
+
+    #[test]
+    fn paper_figure_1_addresses() {
+        // 4 grid boxes, base 2, two digits: 00 01 10 11
+        let boxes: Vec<String> = (0..4)
+            .map(|i| Addr::from_index(2, 2, i).unwrap().to_string())
+            .collect();
+        assert_eq!(boxes, ["00", "01", "10", "11"]);
+    }
+
+    #[test]
+    fn prefix_parent_contains() {
+        let a = Addr::from_digits(2, &[1, 0]).unwrap();
+        let p = a.prefix(1);
+        assert_eq!(p.to_string(), "1");
+        assert!(p.contains(&a));
+        assert!(!a.contains(&p));
+        assert!(a.contains(&a));
+        let root = a.prefix(0);
+        assert!(root.is_empty());
+        assert!(root.contains(&a));
+        assert_eq!(a.parent(), Some(p));
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn contains_requires_same_base() {
+        let a2 = Addr::from_digits(2, &[1]).unwrap();
+        let a4 = Addr::from_digits(4, &[1]).unwrap();
+        assert!(!a2.contains(&a4));
+    }
+
+    #[test]
+    fn children_enumerate_base() {
+        let p = Addr::from_digits(4, &[2]).unwrap();
+        let kids: Vec<String> = p.children().map(|c| c.to_string()).collect();
+        assert_eq!(kids, ["20", "21", "22", "23"]);
+        for c in p.children() {
+            assert!(p.contains(&c));
+            assert_eq!(c.parent(), Some(p));
+        }
+    }
+
+    #[test]
+    fn child_validation() {
+        let p = Addr::from_digits(2, &[0]).unwrap();
+        assert!(p.child(2).is_err());
+        let deep = Addr::from_digits(2, &[0; 16]).unwrap();
+        assert_eq!(deep.child(1), Err(AddrError::TooDeep { len: 17 }));
+    }
+
+    #[test]
+    fn display_depth_matches_paper_star_notation() {
+        let h = Addr::from_digits(2, &[0]).unwrap();
+        assert_eq!(h.display_depth(2), "0*");
+        let root = Addr::root(2).unwrap();
+        assert_eq!(root.display_depth(2), "**");
+        assert_eq!(root.display_depth(0), "*");
+        let full = Addr::from_digits(2, &[1, 1]).unwrap();
+        assert_eq!(full.display_depth(2), "11");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_within_len() {
+        let a = Addr::from_digits(2, &[0, 1]).unwrap();
+        let b = Addr::from_digits(2, &[1, 0]).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn digit_accessor_panics_out_of_range() {
+        let a = Addr::from_digits(2, &[1]).unwrap();
+        assert_eq!(a.digit(0), 1);
+        let r = std::panic::catch_unwind(|| a.digit(1));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(AddrError::BadBase { base: 1 }
+            .to_string()
+            .contains("base 1"));
+        assert!(AddrError::TooDeep { len: 20 }.to_string().contains("20"));
+        assert!(AddrError::DigitOutOfRange { digit: 5, base: 4 }
+            .to_string()
+            .contains("digit 5"));
+    }
+}

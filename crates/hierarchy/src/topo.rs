@@ -1,0 +1,259 @@
+//! Topologically aware placement — the Grid Location Scheme adaptation.
+//!
+//! Paper §6.1: "it is often possible to have the grid division scheme
+//! mirror the geographical/network topology location of the group members
+//! … A topologically aware hash function would then (deterministically)
+//! map member addresses to grid boxes so that there are an average of K
+//! members per grid box, and grid boxes consist of members that are
+//! topologically proximate" — citing the Grid Location Scheme of Li et
+//! al. \[12\], where "closed regions are tailored to have an equal expected
+//! number of members" (Figure 3).
+//!
+//! [`TopologicalPlacement`] realises this for a 2-D field: it recursively
+//! splits the member positions into `K` equal-count slices along
+//! alternating axes (a K-d-tree–style decomposition), assigning one
+//! address digit per level. The result: exactly balanced box occupancy
+//! (±1) *and* spatial locality — members of a box form a contiguous
+//! region, and low subtrees of the hierarchy correspond to small regions,
+//! so early protocol phases only cross short network distances.
+//!
+//! Determinism note: the split is computed from the full position table,
+//! which in the paper corresponds to "a priori knowledge of the
+//! probability distribution of prospective group members across the
+//! network region". Every member evaluating the same table gets the same
+//! placement.
+
+use gridagg_simnet::topology::Position;
+use gridagg_simnet::NodeId;
+
+use crate::addr::Addr;
+use crate::params::Hierarchy;
+use crate::placement::Placement;
+
+/// A placement that assigns proximate members to the same grid box.
+#[derive(Debug, Clone)]
+pub struct TopologicalPlacement {
+    hierarchy: Hierarchy,
+    boxes: Vec<Addr>,
+}
+
+impl TopologicalPlacement {
+    /// Build the placement from node positions (indexed by `NodeId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is empty.
+    pub fn new(hierarchy: Hierarchy, positions: &[Position]) -> Self {
+        assert!(!positions.is_empty(), "cannot place an empty group");
+        let mut boxes = vec![Addr::root(hierarchy.k()).expect("k >= 2"); positions.len()];
+        let mut indices: Vec<usize> = (0..positions.len()).collect();
+        split(
+            &hierarchy,
+            positions,
+            &mut indices,
+            0,
+            Addr::root(hierarchy.k()).expect("k >= 2"),
+            &mut boxes,
+        );
+        TopologicalPlacement { hierarchy, boxes }
+    }
+
+    /// Box occupancy histogram (for tests and the topology ablation).
+    pub fn occupancy(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.hierarchy.num_boxes() as usize];
+        for b in &self.boxes {
+            counts[b.index() as usize] += 1;
+        }
+        counts
+    }
+}
+
+/// Recursively partition `indices[..]` (a region) into K equal-count
+/// slices along alternating axes, appending one digit per level.
+fn split(
+    hierarchy: &Hierarchy,
+    positions: &[Position],
+    indices: &mut [usize],
+    level: usize,
+    prefix: Addr,
+    out: &mut Vec<Addr>,
+) {
+    if level == hierarchy.depth() {
+        for &i in indices.iter() {
+            out[i] = prefix;
+        }
+        return;
+    }
+    // Alternate split axis per level (x, y, x, ...), breaking coordinate
+    // ties by index so the split is total and deterministic.
+    if level.is_multiple_of(2) {
+        indices
+            .sort_unstable_by(|&a, &b| positions[a].x.total_cmp(&positions[b].x).then(a.cmp(&b)));
+    } else {
+        indices
+            .sort_unstable_by(|&a, &b| positions[a].y.total_cmp(&positions[b].y).then(a.cmp(&b)));
+    }
+    let k = hierarchy.k() as usize;
+    let n = indices.len();
+    let mut start = 0usize;
+    for d in 0..k {
+        // Equal-count slicing: slice d gets floor((d+1)·n/k) − floor(d·n/k).
+        let end = ((d + 1) * n) / k;
+        let child = prefix.child(d as u8).expect("digit < k");
+        split(
+            hierarchy,
+            positions,
+            &mut indices[start..end],
+            level + 1,
+            child,
+            out,
+        );
+        start = end;
+    }
+}
+
+impl Placement for TopologicalPlacement {
+    fn place(&self, id: NodeId) -> Addr {
+        self.boxes[id.index()]
+    }
+
+    fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_simnet::rng::DetRng;
+    use gridagg_simnet::topology::{make_field, FieldKind};
+
+    fn field(n: usize) -> Vec<Position> {
+        make_field(FieldKind::UniformRandom, n, &mut DetRng::seeded(9))
+    }
+
+    #[test]
+    fn occupancy_is_balanced() {
+        let h = Hierarchy::for_group(4, 256).unwrap(); // 64 boxes
+        let p = TopologicalPlacement::new(h, &field(256));
+        let occ = p.occupancy();
+        assert_eq!(occ.iter().sum::<usize>(), 256);
+        for (i, &c) in occ.iter().enumerate() {
+            assert!((3..=5).contains(&c), "box {i} occupancy {c}");
+        }
+    }
+
+    #[test]
+    fn occupancy_balanced_for_awkward_n() {
+        let h = Hierarchy::for_group(4, 200).unwrap();
+        let p = TopologicalPlacement::new(h, &field(200));
+        let occ = p.occupancy();
+        let (min, max) = (occ.iter().min().unwrap(), occ.iter().max().unwrap());
+        assert!(max - min <= 2, "occupancy spread {min}..{max}");
+    }
+
+    #[test]
+    fn boxes_are_spatially_compact() {
+        let h = Hierarchy::for_group(4, 256).unwrap();
+        let pos = field(256);
+        let p = TopologicalPlacement::new(h, &pos);
+        // mean same-box pairwise distance must be far below the global mean
+        let mut same = (0.0, 0usize);
+        let mut global = (0.0, 0usize);
+        for i in 0..256 {
+            for j in (i + 1)..256 {
+                let d = pos[i].distance(&pos[j]);
+                global = (global.0 + d, global.1 + 1);
+                if p.place(NodeId(i as u32)) == p.place(NodeId(j as u32)) {
+                    same = (same.0 + d, same.1 + 1);
+                }
+            }
+        }
+        let mean_same = same.0 / same.1 as f64;
+        let mean_global = global.0 / global.1 as f64;
+        assert!(
+            mean_same < mean_global / 2.0,
+            "same-box {mean_same} vs global {mean_global}"
+        );
+    }
+
+    #[test]
+    fn subtree_scopes_nest_spatially() {
+        // phase-2 scopes (larger subtrees) should also be more compact
+        // than the whole field.
+        let h = Hierarchy::for_group(2, 64).unwrap();
+        let pos = field(64);
+        let p = TopologicalPlacement::new(h, &pos);
+        let phase = 2;
+        let mut same = (0.0, 0usize);
+        let mut global = (0.0, 0usize);
+        for i in 0..64 {
+            for j in (i + 1)..64 {
+                let d = pos[i].distance(&pos[j]);
+                global = (global.0 + d, global.1 + 1);
+                let (a, b) = (p.place(NodeId(i as u32)), p.place(NodeId(j as u32)));
+                if h.same_scope(&a, &b, phase) {
+                    same = (same.0 + d, same.1 + 1);
+                }
+            }
+        }
+        let mean_same = same.0 / same.1 as f64;
+        let mean_global = global.0 / global.1 as f64;
+        assert!(
+            mean_same < mean_global,
+            "phase-2 scope not compact: {mean_same} vs {mean_global}"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let h = Hierarchy::for_group(4, 100).unwrap();
+        let pos = field(100);
+        let a = TopologicalPlacement::new(h, &pos);
+        let b = TopologicalPlacement::new(h, &pos);
+        for i in 0..100u32 {
+            assert_eq!(a.place(NodeId(i)), b.place(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn all_addresses_full_depth() {
+        let h = Hierarchy::for_group(4, 100).unwrap();
+        let p = TopologicalPlacement::new(h, &field(100));
+        for i in 0..100u32 {
+            assert_eq!(p.place(NodeId(i)).len(), h.depth());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_panics() {
+        let h = Hierarchy::for_group(4, 100).unwrap();
+        let _ = TopologicalPlacement::new(h, &[]);
+    }
+
+    #[test]
+    fn figure_3_style_quadrants() {
+        // 8 members, K=2, depth 2 → 4 boxes: the x-split then y-split
+        // produces the quadrant structure of Figure 3.
+        let h = Hierarchy::for_group(2, 8).unwrap();
+        let pos = vec![
+            Position::new(0.1, 0.1),
+            Position::new(0.2, 0.2), // left-bottom pair
+            Position::new(0.1, 0.9),
+            Position::new(0.2, 0.8), // left-top pair
+            Position::new(0.9, 0.1),
+            Position::new(0.8, 0.2), // right-bottom pair
+            Position::new(0.9, 0.9),
+            Position::new(0.8, 0.8), // right-top pair
+        ];
+        let p = TopologicalPlacement::new(h, &pos);
+        // pairs share boxes
+        for pair in [(0u32, 1u32), (2, 3), (4, 5), (6, 7)] {
+            assert_eq!(p.place(NodeId(pair.0)), p.place(NodeId(pair.1)));
+        }
+        // left and right halves differ in the first digit
+        assert_ne!(p.place(NodeId(0)).digit(0), p.place(NodeId(4)).digit(0));
+        assert_eq!(p.place(NodeId(0)).digit(0), p.place(NodeId(2)).digit(0));
+    }
+}

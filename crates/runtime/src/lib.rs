@@ -1,0 +1,340 @@
+//! # gridagg-runtime
+//!
+//! A **real-network runtime** for the Hierarchical Gossiping protocol:
+//! every group member is a tokio task with its own UDP socket, gossip
+//! rounds are wall-clock timer ticks, and messages are the binary wire
+//! form from `gridagg_core::message::codec` — no simulator in the loop.
+//!
+//! The protocol state machine ([`HierGossip`]) is *identical* to the one
+//! the simulator drives: `AggregationProtocol` is runtime-agnostic, so
+//! the code path evaluated in the paper's figures is the code path that
+//! runs on sockets here. That separation — pure protocol logic, swap
+//! the harness — is the core design property this crate demonstrates.
+//!
+//! ```no_run
+//! use gridagg_runtime::{run_group, RuntimeConfig};
+//! use gridagg_core::hiergossip::HierGossipConfig;
+//! use gridagg_core::scope::ScopeIndex;
+//! use gridagg_group::view::View;
+//! use gridagg_hierarchy::{FairHashPlacement, Hierarchy};
+//! use gridagg_aggregate::{Aggregate, Average};
+//!
+//! # async fn demo() -> std::io::Result<()> {
+//! let n = 32;
+//! let h = Hierarchy::for_group(4, n).unwrap();
+//! let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 1));
+//! let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
+//! let outcomes = run_group::<Average>(
+//!     votes,
+//!     index,
+//!     HierGossipConfig::default(),
+//!     RuntimeConfig::default(),
+//! )
+//! .await?;
+//! assert_eq!(outcomes.len(), 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tokio::net::UdpSocket;
+use tokio::sync::{mpsc, watch};
+use tokio::time::MissedTickBehavior;
+
+use gridagg_aggregate::wire::WireAggregate;
+use gridagg_aggregate::Tagged;
+use gridagg_core::hiergossip::{HierGossip, HierGossipConfig};
+use gridagg_core::message::codec;
+use gridagg_core::protocol::{AggregationProtocol, Ctx, Outbox};
+use gridagg_core::scope::ScopeIndex;
+use gridagg_group::MemberId;
+use gridagg_simnet::rng::DetRng;
+
+/// Wall-clock parameters of a real-network group run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Length of one gossip round.
+    pub round_interval: Duration,
+    /// Safety cap: a member gives up after this many rounds even if the
+    /// protocol has not terminated.
+    pub max_rounds: u64,
+    /// Send-side message drop probability (deterministic per member
+    /// stream) — lets a localhost demo exhibit the paper's loss
+    /// tolerance without a lossy network.
+    pub inject_loss: f64,
+    /// Seed for per-member randomness (gossipee selection, injected
+    /// loss). The run is *not* globally deterministic — real schedulers
+    /// and sockets interleave freely — but member-local choices are.
+    pub seed: u64,
+    /// How long terminated members linger to keep answering stragglers'
+    /// pushes before the group shuts down, in rounds.
+    pub linger_rounds: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            round_interval: Duration::from_millis(5),
+            max_rounds: 400,
+            inject_loss: 0.0,
+            seed: 1,
+            linger_rounds: 20,
+        }
+    }
+}
+
+/// One member's outcome of a real-network run.
+#[derive(Debug, Clone)]
+pub struct MemberOutcome<A> {
+    /// The member.
+    pub member: MemberId,
+    /// Its final estimate, if the protocol terminated in time.
+    pub estimate: Option<Tagged<A>>,
+    /// Wall-clock rounds the member ran before terminating.
+    pub rounds: u64,
+}
+
+impl<A: WireAggregate> MemberOutcome<A> {
+    /// Completeness of the estimate over a group of `n` (0 when the
+    /// member never finished).
+    pub fn completeness(&self, n: usize) -> f64 {
+        self.estimate.as_ref().map_or(0.0, |e| e.completeness(n))
+    }
+}
+
+/// Run a whole group over localhost UDP and collect every member's
+/// outcome. Sockets are bound to ephemeral ports up front, so parallel
+/// runs (e.g. concurrent tests) never collide.
+///
+/// # Errors
+///
+/// Returns any socket I/O error raised while binding.
+///
+/// # Panics
+///
+/// Panics if `votes.len()` does not match the index population.
+pub async fn run_group<A: WireAggregate>(
+    votes: Vec<f64>,
+    index: Arc<ScopeIndex>,
+    proto_cfg: HierGossipConfig,
+    rt_cfg: RuntimeConfig,
+) -> std::io::Result<Vec<MemberOutcome<A>>> {
+    let n = votes.len();
+    assert_eq!(n, index.len(), "one vote per indexed member");
+
+    // Bind everyone first and share the address table.
+    let mut sockets = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        addrs.push(socket.local_addr()?);
+        sockets.push(socket);
+    }
+    let addrs = Arc::new(addrs);
+
+    let (done_tx, mut done_rx) = mpsc::channel::<MemberOutcome<A>>(n);
+    let (shutdown_tx, shutdown_rx) = watch::channel(false);
+
+    let root_rng = DetRng::seeded(rt_cfg.seed);
+    for (i, socket) in sockets.into_iter().enumerate() {
+        let me = MemberId(i as u32);
+        let proto = HierGossip::<A>::new(me, votes[i], index.clone(), proto_cfg);
+        let task = MemberTask {
+            me,
+            socket,
+            addrs: addrs.clone(),
+            proto,
+            rng: root_rng.fork(0x7275_6E00 ^ i as u64), // "run"
+            cfg: rt_cfg,
+            done: done_tx.clone(),
+            shutdown: shutdown_rx.clone(),
+        };
+        tokio::spawn(task.run());
+    }
+    drop(done_tx);
+
+    // Collect one outcome per member, then release the lingerers.
+    let mut outcomes = Vec::with_capacity(n);
+    while let Some(o) = done_rx.recv().await {
+        outcomes.push(o);
+        if outcomes.len() == n {
+            break;
+        }
+    }
+    let _ = shutdown_tx.send(true);
+    outcomes.sort_by_key(|o| o.member);
+    Ok(outcomes)
+}
+
+struct MemberTask<A> {
+    me: MemberId,
+    socket: UdpSocket,
+    addrs: Arc<Vec<std::net::SocketAddr>>,
+    proto: HierGossip<A>,
+    rng: DetRng,
+    cfg: RuntimeConfig,
+    done: mpsc::Sender<MemberOutcome<A>>,
+    shutdown: watch::Receiver<bool>,
+}
+
+impl<A: WireAggregate> MemberTask<A> {
+    async fn run(mut self) {
+        let mut ticker = tokio::time::interval(self.cfg.round_interval);
+        ticker.set_missed_tick_behavior(MissedTickBehavior::Delay);
+        let mut out = Outbox::new();
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut round: u64 = 0;
+        let mut reported = false;
+        let mut linger_left = self.cfg.linger_rounds;
+
+        loop {
+            tokio::select! {
+                _ = ticker.tick() => {
+                    if !self.proto.is_done() && round < self.cfg.max_rounds {
+                        let mut ctx = Ctx { round, rng: &mut self.rng };
+                        self.proto.on_round(&mut ctx, &mut out);
+                        self.flush(&mut out).await;
+                    }
+                    round += 1;
+                    let finished = self.proto.is_done() || round >= self.cfg.max_rounds;
+                    if finished && !reported {
+                        reported = true;
+                        let outcome = MemberOutcome {
+                            member: self.me,
+                            estimate: self.proto.estimate().cloned(),
+                            rounds: round,
+                        };
+                        let _ = self.done.send(outcome).await;
+                    }
+                    if reported {
+                        // linger to answer stragglers, then leave once
+                        // the coordinator signals or patience runs out
+                        if *self.shutdown.borrow() {
+                            return;
+                        }
+                        if linger_left == 0 {
+                            return;
+                        }
+                        linger_left -= 1;
+                    }
+                }
+                recv = self.socket.recv_from(&mut buf) => {
+                    let Ok((len, from_addr)) = recv else { continue };
+                    let Some(from) = self.addrs.iter().position(|a| *a == from_addr) else {
+                        continue; // not a group member
+                    };
+                    let mut slice = &buf[..len];
+                    let Ok(payload) = codec::decode::<A, _>(&mut slice) else {
+                        continue; // junk datagram
+                    };
+                    let mut ctx = Ctx { round, rng: &mut self.rng };
+                    self.proto
+                        .on_message(MemberId(from as u32), payload, &mut ctx, &mut out);
+                    self.flush(&mut out).await;
+                }
+                _ = self.shutdown.changed() => {
+                    if *self.shutdown.borrow() && reported {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    async fn flush(&mut self, out: &mut Outbox<A>) {
+        let msgs: Vec<(MemberId, gridagg_core::Payload<A>)> = out.drain().collect();
+        for (to, payload) in msgs {
+            if self.cfg.inject_loss > 0.0 && self.rng.chance(self.cfg.inject_loss) {
+                continue; // injected send-side loss
+            }
+            let mut wire = Vec::with_capacity(128);
+            codec::encode(&payload, &mut wire);
+            let _ = self.socket.send_to(&wire, self.addrs[to.index()]).await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridagg_aggregate::{Aggregate, Average};
+    use gridagg_group::view::View;
+    use gridagg_hierarchy::{FairHashPlacement, Hierarchy};
+
+    fn index(n: usize) -> Arc<ScopeIndex> {
+        let h = Hierarchy::for_group(4, n).expect("shape");
+        ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 9))
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn udp_group_converges_on_loopback() {
+        let n = 24;
+        let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let truth = (n as f64 - 1.0) / 2.0;
+        let outcomes = run_group::<Average>(
+            votes,
+            index(n),
+            HierGossipConfig::default(),
+            RuntimeConfig::default(),
+        )
+        .await
+        .expect("run");
+        assert_eq!(outcomes.len(), n);
+        let mean_completeness: f64 =
+            outcomes.iter().map(|o| o.completeness(n)).sum::<f64>() / n as f64;
+        assert!(
+            mean_completeness > 0.9,
+            "loopback run incomplete: {mean_completeness}"
+        );
+        // fully complete members computed the exact average
+        for o in &outcomes {
+            if o.completeness(n) == 1.0 {
+                let est = o.estimate.as_ref().unwrap();
+                assert!((est.aggregate().unwrap().summary() - truth).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn udp_group_tolerates_injected_loss() {
+        let n = 24;
+        let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let cfg = RuntimeConfig {
+            inject_loss: 0.25,
+            ..Default::default()
+        };
+        let outcomes = run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg)
+            .await
+            .expect("run");
+        let mean_completeness: f64 =
+            outcomes.iter().map(|o| o.completeness(n)).sum::<f64>() / n as f64;
+        assert!(
+            mean_completeness > 0.7,
+            "lossy loopback run collapsed: {mean_completeness}"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn concurrent_groups_do_not_collide() {
+        // ephemeral ports mean two groups can run side by side
+        let run = |seed: u64| async move {
+            let n = 8;
+            let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let cfg = RuntimeConfig {
+                seed,
+                ..Default::default()
+            };
+            run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg)
+                .await
+                .expect("run")
+        };
+        let (a, b) = tokio::join!(run(1), run(2));
+        assert_eq!(a.len(), 8);
+        assert_eq!(b.len(), 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Message-delay models.
+//!
+//! The paper's network is asynchronous; its simulation delivers gossip
+//! messages by the next round. [`NextRound`] reproduces that default, and
+//! the jittered models let experiments probe sensitivity to extra
+//! asynchrony (members already progress through *phases* asynchronously —
+//! step 2(b) of the protocol — independent of the delay model).
+
+use crate::rng::DetRng;
+
+/// Decides, per message, how many rounds after sending it is delivered.
+/// The returned delay is always at least 1 (no same-round delivery).
+pub trait DelayModel: Send + Sync + std::fmt::Debug {
+    /// Delay in rounds (>= 1) for one message.
+    fn delay(&self, rng: &mut DetRng) -> u64;
+}
+
+/// Deliver at the start of the next round — the paper's simulation default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextRound;
+
+impl DelayModel for NextRound {
+    fn delay(&self, _rng: &mut DetRng) -> u64 {
+        1
+    }
+}
+
+/// Uniform delay in `[min, max]` rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDelay {
+    min: u64,
+    max: u64,
+}
+
+impl UniformDelay {
+    /// Create a uniform delay model over `[min, max]`; both bounds are
+    /// clamped to at least 1 and swapped if out of order.
+    pub fn new(min: u64, max: u64) -> Self {
+        let lo = min.max(1);
+        let hi = max.max(1);
+        UniformDelay {
+            min: lo.min(hi),
+            max: lo.max(hi),
+        }
+    }
+}
+
+impl DelayModel for UniformDelay {
+    fn delay(&self, rng: &mut DetRng) -> u64 {
+        let span = self.max - self.min + 1;
+        self.min + rng.below(span as usize) as u64
+    }
+}
+
+/// Geometric delay: each extra round occurs with probability `p_extra`,
+/// capped at `cap`. Models occasional stragglers without unbounded tails.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricDelay {
+    p_extra: f64,
+    cap: u64,
+}
+
+impl GeometricDelay {
+    /// Create a geometric delay model; `p_extra` is clamped to `[0, 0.99]`.
+    pub fn new(p_extra: f64, cap: u64) -> Self {
+        GeometricDelay {
+            p_extra: p_extra.clamp(0.0, 0.99),
+            cap: cap.max(1),
+        }
+    }
+}
+
+impl DelayModel for GeometricDelay {
+    fn delay(&self, rng: &mut DetRng) -> u64 {
+        let mut d = 1;
+        while d < self.cap && rng.chance(self.p_extra) {
+            d += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seeded(4)
+    }
+
+    #[test]
+    fn next_round_is_one() {
+        assert_eq!(NextRound.delay(&mut rng()), 1);
+    }
+
+    #[test]
+    fn uniform_delay_in_range() {
+        let m = UniformDelay::new(2, 5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.delay(&mut r);
+            assert!((2..=5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn uniform_delay_normalizes_bounds() {
+        let m = UniformDelay::new(0, 0);
+        assert_eq!(m.delay(&mut rng()), 1);
+        let swapped = UniformDelay::new(5, 2);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!((2..=5).contains(&swapped.delay(&mut r)));
+        }
+    }
+
+    #[test]
+    fn geometric_delay_capped_and_positive() {
+        let m = GeometricDelay::new(0.9, 4);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.delay(&mut r);
+            assert!((1..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn geometric_delay_zero_extra_is_next_round() {
+        let m = GeometricDelay::new(0.0, 10);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(m.delay(&mut r), 1);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Message-loss models.
+//!
+//! The paper's simulations (§7) use two loss regimes, both reproduced here:
+//!
+//! * independent unicast loss with probability `ucastl` ([`UniformLoss`]),
+//! * a *soft partition*: the group is split into two halves and messages
+//!   crossing the boundary are dropped with probability `partl`, while
+//!   intra-half messages see the background `ucastl` ([`PartitionLoss`],
+//!   Figure 9 — "the most major symptom of congestion and correlated
+//!   message delivery failures in wide area networks").
+//!
+//! [`DistanceLoss`] additionally models multihop radio networks where far
+//! links fail more often, used by the topology-aware experiments.
+
+use crate::rng::DetRng;
+use crate::topology::Position;
+use crate::{NodeId, Round};
+
+/// Error returned when a probability parameter is outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidProbability;
+
+impl std::fmt::Display for InvalidProbability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("probability must lie in [0, 1]")
+    }
+}
+
+impl std::error::Error for InvalidProbability {}
+
+fn check(p: f64) -> Result<f64, InvalidProbability> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(InvalidProbability)
+    }
+}
+
+/// Decides, per message, whether the network drops it.
+///
+/// Implementations must be deterministic given the `rng` stream: the
+/// simulator calls `dropped` exactly once per sent message.
+pub trait LossModel: Send + Sync + std::fmt::Debug {
+    /// Return `true` if the message from `from` to `to` sent in `round`
+    /// should be dropped.
+    fn dropped(&self, from: NodeId, to: NodeId, round: Round, rng: &mut DetRng) -> bool;
+}
+
+/// A perfectly reliable network (used for correctness tests and Figure 11,
+/// where `ucastl = pf = 0`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Perfect;
+
+impl LossModel for Perfect {
+    fn dropped(&self, _f: NodeId, _t: NodeId, _r: Round, _rng: &mut DetRng) -> bool {
+        false
+    }
+}
+
+/// Independent unicast loss with fixed probability (`ucastl` in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformLoss {
+    p: f64,
+}
+
+impl UniformLoss {
+    /// Create a uniform loss model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if `p` is not in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, InvalidProbability> {
+        Ok(UniformLoss { p: check(p)? })
+    }
+
+    /// The loss probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LossModel for UniformLoss {
+    fn dropped(&self, _f: NodeId, _t: NodeId, _r: Round, rng: &mut DetRng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+/// Soft network partition (paper §7, Figure 9).
+///
+/// Nodes with id `< boundary` form one half; messages crossing the
+/// boundary are dropped with probability `partl`, messages inside either
+/// half with probability `ucastl`.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionLoss {
+    boundary: u32,
+    partl: f64,
+    ucastl: f64,
+}
+
+impl PartitionLoss {
+    /// Create a partition loss model with the half boundary at `boundary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if either probability is not in `[0, 1]`.
+    pub fn new(boundary: u32, partl: f64, ucastl: f64) -> Result<Self, InvalidProbability> {
+        Ok(PartitionLoss {
+            boundary,
+            partl: check(partl)?,
+            ucastl: check(ucastl)?,
+        })
+    }
+
+    /// Whether a `from -> to` message crosses the partition boundary.
+    pub fn crosses(&self, from: NodeId, to: NodeId) -> bool {
+        (from.0 < self.boundary) != (to.0 < self.boundary)
+    }
+}
+
+impl LossModel for PartitionLoss {
+    fn dropped(&self, from: NodeId, to: NodeId, _r: Round, rng: &mut DetRng) -> bool {
+        let p = if self.crosses(from, to) {
+            self.partl
+        } else {
+            self.ucastl
+        };
+        rng.chance(p)
+    }
+}
+
+/// Distance-dependent loss for multihop radio fields: each hop fails
+/// independently with `per_hop`, so a message over `h` hops survives with
+/// probability `(1 - per_hop)^h`.
+#[derive(Debug, Clone)]
+pub struct DistanceLoss {
+    positions: Vec<Position>,
+    range: f64,
+    per_hop: f64,
+}
+
+impl DistanceLoss {
+    /// Create a distance loss model over the given node positions.
+    ///
+    /// `range` is the single-hop radio range; `per_hop` the loss
+    /// probability of each hop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if `per_hop` is not in `[0, 1]`.
+    pub fn new(
+        positions: Vec<Position>,
+        range: f64,
+        per_hop: f64,
+    ) -> Result<Self, InvalidProbability> {
+        Ok(DistanceLoss {
+            positions,
+            range: range.max(1e-6),
+            per_hop: check(per_hop)?,
+        })
+    }
+
+    fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        match (
+            self.positions.get(from.index()),
+            self.positions.get(to.index()),
+        ) {
+            (Some(a), Some(b)) => crate::topology::hops(a.distance(b), self.range),
+            _ => 1,
+        }
+    }
+}
+
+impl LossModel for DistanceLoss {
+    fn dropped(&self, from: NodeId, to: NodeId, _r: Round, rng: &mut DetRng) -> bool {
+        let h = self.hops(from, to);
+        let survive = (1.0 - self.per_hop).powi(h as i32);
+        !rng.chance(survive)
+    }
+}
+
+/// A loss model that switches between two inner models at a given round,
+/// for experiments where the network degrades (or heals) mid-run.
+#[derive(Debug)]
+pub struct SwitchLoss {
+    before: Box<dyn LossModel>,
+    after: Box<dyn LossModel>,
+    at: Round,
+}
+
+impl SwitchLoss {
+    /// Use `before` for rounds `< at`, `after` from round `at` onwards.
+    pub fn new(before: Box<dyn LossModel>, after: Box<dyn LossModel>, at: Round) -> Self {
+        SwitchLoss { before, after, at }
+    }
+}
+
+impl LossModel for SwitchLoss {
+    fn dropped(&self, from: NodeId, to: NodeId, round: Round, rng: &mut DetRng) -> bool {
+        if round < self.at {
+            self.before.dropped(from, to, round, rng)
+        } else {
+            self.after.dropped(from, to, round, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seeded(1)
+    }
+
+    #[test]
+    fn probability_validation() {
+        assert!(UniformLoss::new(1.1).is_err());
+        assert!(UniformLoss::new(-0.1).is_err());
+        assert!(UniformLoss::new(0.25).is_ok());
+        assert!(PartitionLoss::new(10, 1.5, 0.0).is_err());
+        assert!(DistanceLoss::new(vec![], 0.1, 2.0).is_err());
+    }
+
+    #[test]
+    fn perfect_never_drops() {
+        let mut r = rng();
+        for i in 0..100u32 {
+            assert!(!Perfect.dropped(NodeId(i), NodeId(i + 1), 0, &mut r));
+        }
+    }
+
+    #[test]
+    fn uniform_loss_rate_matches() {
+        let m = UniformLoss::new(0.25).unwrap();
+        let mut r = rng();
+        let trials = 40_000;
+        let drops = (0..trials)
+            .filter(|_| m.dropped(NodeId(0), NodeId(1), 0, &mut r))
+            .count();
+        let rate = drops as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn partition_crossing_detection() {
+        let m = PartitionLoss::new(100, 0.7, 0.1).unwrap();
+        assert!(m.crosses(NodeId(0), NodeId(100)));
+        assert!(m.crosses(NodeId(150), NodeId(99)));
+        assert!(!m.crosses(NodeId(1), NodeId(2)));
+        assert!(!m.crosses(NodeId(150), NodeId(199)));
+    }
+
+    #[test]
+    fn partition_loss_rates_differ() {
+        let m = PartitionLoss::new(100, 1.0, 0.0).unwrap();
+        let mut r = rng();
+        assert!(m.dropped(NodeId(0), NodeId(150), 0, &mut r));
+        assert!(!m.dropped(NodeId(0), NodeId(50), 0, &mut r));
+    }
+
+    #[test]
+    fn distance_loss_worse_for_far_links() {
+        let pos = vec![
+            Position::new(0.0, 0.0),
+            Position::new(0.05, 0.0),
+            Position::new(1.0, 1.0),
+        ];
+        let m = DistanceLoss::new(pos, 0.1, 0.2).unwrap();
+        let mut r = rng();
+        let trials = 20_000;
+        let near = (0..trials)
+            .filter(|_| m.dropped(NodeId(0), NodeId(1), 0, &mut r))
+            .count() as f64
+            / trials as f64;
+        let far = (0..trials)
+            .filter(|_| m.dropped(NodeId(0), NodeId(2), 0, &mut r))
+            .count() as f64
+            / trials as f64;
+        assert!(near < 0.25, "near link loss {near}");
+        assert!(far > 0.9, "far link loss {far}");
+    }
+
+    #[test]
+    fn switch_loss_changes_at_round() {
+        let m = SwitchLoss::new(
+            Box::new(Perfect),
+            Box::new(UniformLoss::new(1.0).unwrap()),
+            5,
+        );
+        let mut r = rng();
+        assert!(!m.dropped(NodeId(0), NodeId(1), 4, &mut r));
+        assert!(m.dropped(NodeId(0), NodeId(1), 5, &mut r));
+    }
+
+    #[test]
+    fn invalid_probability_displays() {
+        let e = UniformLoss::new(2.0).unwrap_err();
+        assert!(e.to_string().contains("[0, 1]"));
+    }
+}

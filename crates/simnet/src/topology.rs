@@ -1,0 +1,191 @@
+//! Synthetic 2-D network topology.
+//!
+//! The paper motivates its protocol with sensor fields (airplane wings,
+//! smart dust on terrain) and sketches a *topologically aware* hash that
+//! puts nearby members in the same grid box (§6.1, Figure 3). We do not
+//! have real sensor deployments, so this module provides synthetic fields
+//! with the properties the protocol actually observes: node positions,
+//! pairwise distances, and a hop-count model that lets the simulator
+//! account for how far each message travels.
+
+use crate::rng::DetRng;
+
+/// A point in the unit square, the simulated deployment region.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Position {
+    /// Create a position, clamping both coordinates to `[0, 1]`.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position {
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// How node positions are laid out over the unit square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Independently uniform positions (smart dust "randomly dropped on an
+    /// inhospitable terrain").
+    UniformRandom,
+    /// A jittered regular grid (sensors installed on an airplane wing).
+    Grid,
+    /// A small number of dense clusters (Internet hosts in a few subnets).
+    Clustered {
+        /// Number of cluster centres.
+        clusters: usize,
+    },
+}
+
+/// Generate `n` positions of the given kind, deterministically from `rng`.
+pub fn make_field(kind: FieldKind, n: usize, rng: &mut DetRng) -> Vec<Position> {
+    match kind {
+        FieldKind::UniformRandom => (0..n)
+            .map(|_| Position::new(rng.unit(), rng.unit()))
+            .collect(),
+        FieldKind::Grid => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            let step = 1.0 / side.max(1) as f64;
+            (0..n)
+                .map(|i| {
+                    let gx = (i % side) as f64 * step + step / 2.0;
+                    let gy = (i / side) as f64 * step + step / 2.0;
+                    // Small jitter so ties in coordinates are broken.
+                    let jx = (rng.unit() - 0.5) * step * 0.2;
+                    let jy = (rng.unit() - 0.5) * step * 0.2;
+                    Position::new(gx + jx, gy + jy)
+                })
+                .collect()
+        }
+        FieldKind::Clustered { clusters } => {
+            let c = clusters.max(1);
+            let centres: Vec<Position> = (0..c)
+                .map(|_| Position::new(rng.unit(), rng.unit()))
+                .collect();
+            (0..n)
+                .map(|i| {
+                    let centre = centres[i % c];
+                    let jx = (rng.unit() - 0.5) * 0.1;
+                    let jy = (rng.unit() - 0.5) * 0.1;
+                    Position::new(centre.x + jx, centre.y + jy)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Number of distance buckets used in link-load accounting.
+pub const DISTANCE_BUCKETS: usize = 8;
+
+/// Bucket a distance in `[0, sqrt(2)]` into one of [`DISTANCE_BUCKETS`]
+/// bins, used to report how much traffic travels how far (the §6.1 claim:
+/// a topologically aware hash restricts early-phase messages to short
+/// network routes).
+pub fn distance_bucket(d: f64) -> usize {
+    let max = std::f64::consts::SQRT_2;
+    let b = ((d / max) * DISTANCE_BUCKETS as f64).floor() as usize;
+    b.min(DISTANCE_BUCKETS - 1)
+}
+
+/// Hop count for a message over distance `d` in a multihop network whose
+/// radio range is `range`: at least one hop, proportional to distance.
+pub fn hops(d: f64, range: f64) -> u32 {
+    if d <= 0.0 {
+        return 0;
+    }
+    let r = range.max(1e-6);
+    (d / r).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seeded(2001)
+    }
+
+    #[test]
+    fn positions_clamped() {
+        let p = Position::new(-0.5, 1.5);
+        assert_eq!(p, Position { x: 0.0, y: 1.0 });
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(1.0, 1.0);
+        assert!((a.distance(&b) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn fields_have_n_points_in_unit_square() {
+        for kind in [
+            FieldKind::UniformRandom,
+            FieldKind::Grid,
+            FieldKind::Clustered { clusters: 4 },
+        ] {
+            let f = make_field(kind, 100, &mut rng());
+            assert_eq!(f.len(), 100);
+            for p in &f {
+                assert!((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_field_spreads_points() {
+        let f = make_field(FieldKind::Grid, 64, &mut rng());
+        // points in opposite corners should be far apart
+        let d = f[0].distance(&f[63]);
+        assert!(d > 1.0, "grid corners too close: {d}");
+    }
+
+    #[test]
+    fn clustered_field_is_clustered() {
+        let f = make_field(FieldKind::Clustered { clusters: 2 }, 100, &mut rng());
+        // Same-cluster members (stride 2 apart) are close.
+        let d = f[0].distance(&f[2]);
+        assert!(d < 0.25, "same-cluster distance {d}");
+    }
+
+    #[test]
+    fn buckets_cover_range() {
+        assert_eq!(distance_bucket(0.0), 0);
+        assert_eq!(
+            distance_bucket(std::f64::consts::SQRT_2),
+            DISTANCE_BUCKETS - 1
+        );
+        assert_eq!(distance_bucket(10.0), DISTANCE_BUCKETS - 1);
+    }
+
+    #[test]
+    fn hops_scale_with_distance() {
+        assert_eq!(hops(0.0, 0.1), 0);
+        assert_eq!(hops(0.05, 0.1), 1);
+        assert_eq!(hops(0.35, 0.1), 4);
+    }
+
+    #[test]
+    fn field_generation_is_deterministic() {
+        let a = make_field(FieldKind::UniformRandom, 10, &mut rng());
+        let b = make_field(FieldKind::UniformRandom, 10, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,59 @@
+//! Periodic aggregation: tracking a drifting global quantity.
+//!
+//! §2: "Our discussion considers only one run of the aggregation
+//! protocol, but this can be extended to one which periodically
+//! calculate[s] the global aggregate." Here the wing slowly heats up
+//! (+1.5°/epoch drift plus sensor noise) while members keep crashing,
+//! and the group re-aggregates every epoch — the estimate tracks the
+//! moving truth, and the hierarchy automatically re-derives itself from
+//! the shrinking surviving population.
+//!
+//! Run with: `cargo run --release --example periodic_monitoring`
+
+use gridagg::core::periodic::{run_periodic, VoteProcess};
+use gridagg::prelude::*;
+
+fn main() {
+    let mut cfg = ExperimentConfig::paper_defaults().with_n(256);
+    cfg.pf = 0.002; // members keep dying between and during epochs
+    cfg.vote = VoteSpec::Gaussian {
+        mean: 60.0,
+        std_dev: 3.0,
+    };
+
+    let epochs = run_periodic::<Average>(
+        &cfg,
+        VoteProcess::Drift {
+            rate: 1.5,
+            noise: 0.5,
+        },
+        8,
+        42,
+    );
+
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>9} {:>14}",
+        "epoch", "alive", "truth", "estimate", "error", "completeness"
+    );
+    for e in &epochs {
+        println!(
+            "{:>6} {:>6} {:>10.3} {:>10.3} {:>9.4} {:>14.4}",
+            e.epoch,
+            e.report.n,
+            e.true_value,
+            e.median_estimate(),
+            e.tracking_error(),
+            e.report.mean_completeness().unwrap_or(0.0),
+        );
+    }
+    let max_err = epochs
+        .iter()
+        .map(|e| e.tracking_error())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nthe estimate follows a +1.5°/epoch drift with max error {max_err:.3}° while \n\
+         the population shrinks from {} to {} members",
+        epochs.first().map_or(0, |e| e.report.n),
+        epochs.last().map_or(0, |e| e.report.n),
+    );
+}

@@ -1,0 +1,190 @@
+//! Failure-injection scenarios beyond the paper's uniform models:
+//! targeted box wipes, healing networks, distance-dependent radio loss,
+//! and delay jitter — each exercising a different substrate feature
+//! end to end.
+
+use gridagg::core::scope::ScopeIndex;
+use gridagg::prelude::*;
+use gridagg::simnet::delay::GeometricDelay;
+use gridagg::simnet::loss::{DistanceLoss, SwitchLoss, UniformLoss};
+use gridagg::simnet::topology::{make_field, FieldKind};
+
+fn build_protocols(
+    n: usize,
+    seed: u64,
+    k: u8,
+) -> (Vec<HierGossip<Average>>, std::sync::Arc<ScopeIndex>, f64) {
+    let group = GroupBuilder::new(n)
+        .votes(VoteDistribution::Index)
+        .seed(seed)
+        .build();
+    let h = Hierarchy::for_group(k, n).unwrap();
+    let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, seed));
+    let protocols = group
+        .members()
+        .iter()
+        .map(|m| HierGossip::new(m.id, m.vote, index.clone(), HierGossipConfig::default()))
+        .collect();
+    let truth = (n as f64 - 1.0) / 2.0;
+    (protocols, index, truth)
+}
+
+fn run_with(
+    protocols: Vec<HierGossip<Average>>,
+    net: SimNetwork<gridagg::core::Payload<Average>>,
+    failure: gridagg::group::failure::FailureProcess,
+    seed: u64,
+    truth: f64,
+) -> RunReport {
+    Simulation::new(net, protocols, failure, seed, truth, 2000).run()
+}
+
+#[test]
+fn wiping_an_entire_box_loses_only_that_box() {
+    // schedule every member of one grid box to crash at round 0: their
+    // votes are unrecoverable, everything else must survive.
+    let n = 128;
+    let seed = 6;
+    let (protocols, index, truth) = build_protocols(n, seed, 4);
+    let h = *index.hierarchy();
+    // pick the first non-empty box
+    let victim_box = (0..h.num_boxes())
+        .map(|i| h.box_at(i))
+        .find(|b| index.count_in(b) > 0)
+        .expect("some box is populated");
+    let victims: Vec<MemberId> = index.members_in(&victim_box).to_vec();
+    let crashes: Vec<(Round, MemberId)> = victims.iter().map(|&m| (0, m)).collect();
+    let failure =
+        gridagg::group::failure::FailureProcess::new(FailureModel::Scheduled { crashes }, n, seed);
+    let net = SimNetwork::new(NetworkConfig::default(), seed);
+    let report = run_with(protocols, net, failure, seed, truth);
+
+    assert_eq!(report.crashed(), victims.len());
+    // The victims' votes are a hard ceiling: no completed member can
+    // exceed the box-loss floor...
+    let floor = 1.0 - victims.len() as f64 / n as f64;
+    for o in &report.outcomes {
+        if let MemberOutcome::Completed { completeness, .. } = o {
+            assert!(*completeness <= floor + 1e-9);
+        }
+    }
+    // ...and the knock-on cost is bounded: with no failure detection
+    // (per the paper) the victims' scope-mates wait out full phase
+    // timeouts and become stragglers, but the group mean stays close to
+    // the floor.
+    let mean = report.mean_completeness().unwrap();
+    assert!(
+        mean > floor - 0.1,
+        "mean completeness {mean} collapsed past the box-loss floor {floor}"
+    );
+    assert!(report.completed() >= n - victims.len());
+}
+
+#[test]
+fn network_healing_mid_run_recovers_completeness() {
+    // total blackout for the first 12 rounds, then a perfect network:
+    // the per-phase timeouts burn through the blackout but the gossip
+    // recovers what the surviving schedule allows — compare to a
+    // permanently black network where nothing ever arrives.
+    let n = 64;
+    let seed = 3;
+    let run = |heal_at: Option<Round>| {
+        let (protocols, _, truth) = build_protocols(n, seed, 4);
+        let loss: Box<dyn gridagg::simnet::loss::LossModel> = match heal_at {
+            Some(at) => Box::new(SwitchLoss::new(
+                Box::new(UniformLoss::new(1.0).unwrap()),
+                Box::new(gridagg::simnet::loss::Perfect),
+                at,
+            )),
+            None => Box::new(UniformLoss::new(1.0).unwrap()),
+        };
+        let net = SimNetwork::new(NetworkConfig::default().with_boxed_loss(loss), seed);
+        let failure = gridagg::group::failure::FailureProcess::new(FailureModel::None, n, seed);
+        run_with(protocols, net, failure, seed, truth)
+    };
+    let healed = run(Some(6));
+    let black = run(None);
+    assert!(
+        healed.mean_completeness().unwrap() > black.mean_completeness().unwrap(),
+        "healing must help: {:?} vs {:?}",
+        healed.mean_completeness(),
+        black.mean_completeness()
+    );
+    // a permanently black network leaves every member with only its own vote
+    assert!(black.mean_completeness().unwrap() < 2.0 / n as f64 + 1e-9);
+}
+
+#[test]
+fn distance_loss_favours_topological_placement() {
+    // multihop radio: per-hop loss makes far links unreliable. The
+    // topologically-aware hash keeps early phases local, so it should
+    // beat the fair hash on the same field.
+    let n = 256;
+    let seed = 12;
+    let field = make_field(FieldKind::UniformRandom, n, &mut DetRng::seeded(seed));
+    let h = Hierarchy::for_group(4, n).unwrap();
+    let group = GroupBuilder::new(n)
+        .votes(VoteDistribution::Index)
+        .seed(seed)
+        .build();
+    let truth = (n as f64 - 1.0) / 2.0;
+
+    let run = |topo: bool| {
+        let index = if topo {
+            ScopeIndex::build(&View::complete(n), &TopologicalPlacement::new(h, &field))
+        } else {
+            ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, seed))
+        };
+        let protocols: Vec<HierGossip<Average>> = group
+            .members()
+            .iter()
+            .map(|m| HierGossip::new(m.id, m.vote, index.clone(), HierGossipConfig::default()))
+            .collect();
+        let loss = DistanceLoss::new(field.clone(), 0.25, 0.15).unwrap();
+        let net = SimNetwork::new(
+            NetworkConfig::default()
+                .with_loss(loss)
+                .with_positions(field.clone()),
+            seed,
+        );
+        let failure = gridagg::group::failure::FailureProcess::new(FailureModel::None, n, seed);
+        run_with(protocols, net, failure, seed, truth)
+    };
+    let fair = run(false);
+    let topo = run(true);
+    assert!(
+        topo.mean_completeness().unwrap() >= fair.mean_completeness().unwrap(),
+        "topo {:?} should not lose to fair {:?} under radio loss",
+        topo.mean_completeness(),
+        fair.mean_completeness()
+    );
+}
+
+#[test]
+fn geometric_delay_jitter_tolerated() {
+    let n = 100;
+    let seed = 9;
+    let (protocols, _, truth) = build_protocols(n, seed, 4);
+    let net = SimNetwork::new(
+        NetworkConfig::default().with_delay(GeometricDelay::new(0.4, 4)),
+        seed,
+    );
+    let failure = gridagg::group::failure::FailureProcess::new(FailureModel::None, n, seed);
+    let report = run_with(protocols, net, failure, seed, truth);
+    assert!(
+        report.mean_completeness().unwrap() > 0.85,
+        "jitter should only dent completeness: {:?}",
+        report.mean_completeness()
+    );
+}
+
+#[test]
+fn max_delay_config_runs_through_runner() {
+    let mut cfg = ExperimentConfig::paper_defaults();
+    cfg.max_delay = Some(3);
+    let report = run_hiergossip::<Average>(&cfg, 5);
+    assert!(report.mean_completeness().unwrap() > 0.8);
+    // and validation rejects zero
+    cfg.max_delay = Some(0);
+    assert!(cfg.validate().is_err());
+}

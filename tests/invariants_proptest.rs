@@ -1,0 +1,302 @@
+//! Property-based tests of the system's core invariants.
+
+use proptest::prelude::*;
+
+use gridagg::aggregate::wire::WireAggregate;
+use gridagg::analysis;
+use gridagg::prelude::*;
+use gridagg::simnet::rng::{splitmix64, unit_interval};
+
+// ---------------------------------------------------------------------
+// Aggregate laws: merge is commutative and grouping-insensitive (the
+// composability property the whole protocol rests on).
+// ---------------------------------------------------------------------
+
+fn votes_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 2..40)
+}
+
+fn fold<A: Aggregate>(votes: &[f64]) -> A {
+    let mut acc = A::from_vote(votes[0]);
+    for &v in &votes[1..] {
+        acc.merge(&A::from_vote(v));
+    }
+    acc
+}
+
+macro_rules! aggregate_law_tests {
+    ($name:ident, $agg:ty, $tol:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn merge_commutes(a in votes_strategy(), b in votes_strategy()) {
+                    let mut ab: $agg = fold(&a);
+                    ab.merge(&fold::<$agg>(&b));
+                    let mut ba: $agg = fold(&b);
+                    ba.merge(&fold::<$agg>(&a));
+                    prop_assert!((ab.summary() - ba.summary()).abs() <= $tol * ab.summary().abs().max(1.0));
+                }
+
+                #[test]
+                fn grouping_is_irrelevant(votes in votes_strategy(), split in 1usize..39) {
+                    prop_assume!(split < votes.len());
+                    let flat: $agg = fold(&votes);
+                    let mut grouped: $agg = fold(&votes[..split]);
+                    grouped.merge(&fold::<$agg>(&votes[split..]));
+                    prop_assert!(
+                        (flat.summary() - grouped.summary()).abs()
+                            <= $tol * flat.summary().abs().max(1.0)
+                    );
+                }
+            }
+        }
+    };
+}
+
+aggregate_law_tests!(average_laws, Average, 1e-9);
+aggregate_law_tests!(sum_laws, Sum, 1e-9);
+aggregate_law_tests!(count_laws, Count, 0.0);
+aggregate_law_tests!(min_laws, Min, 0.0);
+aggregate_law_tests!(max_laws, Max, 0.0);
+aggregate_law_tests!(meanvar_laws, MeanVar, 1e-6);
+aggregate_law_tests!(topk_laws, TopK, 0.0);
+
+// ---------------------------------------------------------------------
+// No-double-counting: Tagged::try_merge must reject overlap and must
+// leave the receiver unchanged on failure.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tagged_rejects_any_overlap(
+        left in prop::collection::btree_set(0usize..128, 1..30),
+        right in prop::collection::btree_set(0usize..128, 1..30),
+    ) {
+        let build = |members: &std::collections::BTreeSet<usize>| {
+            let mut acc = Tagged::<Average>::empty(128);
+            for &m in members {
+                acc.try_merge(&Tagged::from_vote(m, m as f64, 128)).unwrap();
+            }
+            acc
+        };
+        let mut a = build(&left);
+        let b = build(&right);
+        let before = a.clone();
+        let overlaps = left.intersection(&right).next().is_some();
+        let result = a.try_merge(&b);
+        if overlaps {
+            prop_assert!(result.is_err());
+            prop_assert_eq!(a, before, "failed merge must not mutate");
+        } else {
+            prop_assert!(result.is_ok());
+            prop_assert_eq!(a.vote_count(), left.len() + right.len());
+        }
+    }
+
+    #[test]
+    fn voteset_union_is_idempotent_and_monotone(
+        xs in prop::collection::vec(0usize..512, 0..64),
+        ys in prop::collection::vec(0usize..512, 0..64),
+    ) {
+        let a: VoteSet = xs.iter().copied().collect();
+        let b: VoteSet = ys.iter().copied().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        // union contains both operands
+        for &x in &xs { prop_assert!(u.contains(x)); }
+        for &y in &ys { prop_assert!(u.contains(y)); }
+        // idempotent
+        let mut uu = u.clone();
+        uu.union_with(&b);
+        prop_assert_eq!(&uu, &u);
+        // cardinality bounds
+        prop_assert!(u.len() >= a.len().max(b.len()));
+        prop_assert!(u.len() <= a.len() + b.len());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hierarchy address algebra.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn addr_index_roundtrip(base in 2u8..8, len in 1usize..6, seed in any::<u64>()) {
+        let boxes = (base as u64).pow(len as u32);
+        let idx = splitmix64(seed) % boxes;
+        let a = Addr::from_index(base, len, idx).unwrap();
+        prop_assert_eq!(a.index(), idx);
+        prop_assert_eq!(a.len(), len);
+    }
+
+    #[test]
+    fn prefix_containment_is_transitive(base in 2u8..5, seed in any::<u64>()) {
+        let len = 4usize;
+        let boxes = (base as u64).pow(len as u32);
+        let a = Addr::from_index(base, len, splitmix64(seed) % boxes).unwrap();
+        for l1 in 0..=len {
+            for l2 in 0..=l1 {
+                let p1 = a.prefix(l1);
+                let p2 = a.prefix(l2);
+                prop_assert!(p2.contains(&p1), "{p2} should contain {p1}");
+                prop_assert!(p1.contains(&a));
+                prop_assert!(p2.contains(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn scopes_grow_with_phase(k in 2u8..6, n in 16usize..2000, seed in any::<u64>()) {
+        let h = Hierarchy::for_group(k, n).unwrap();
+        let boxes = h.num_boxes();
+        let b = h.box_at(splitmix64(seed) % boxes);
+        let mut prev_len = h.depth() + 1;
+        for phase in 1..=h.phases() {
+            let scope = h.scope(&b, phase);
+            prop_assert!(scope.len() < prev_len, "scopes must strictly widen");
+            prop_assert!(scope.contains(&b));
+            prev_len = scope.len();
+        }
+        prop_assert_eq!(h.scope(&b, h.phases()).len(), 0, "final scope is the root");
+    }
+
+    #[test]
+    fn fair_hash_is_total_and_in_range(k in 2u8..6, n in 16usize..2000, salt in any::<u64>()) {
+        let h = Hierarchy::for_group(k, n).unwrap();
+        let p = FairHashPlacement::new(h, salt);
+        for i in (0..n as u32).step_by(17) {
+            let a = p.place(MemberId(i));
+            prop_assert_eq!(a.len(), h.depth());
+            prop_assert!(a.index() < h.num_boxes());
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_in_range(x in any::<u64>()) {
+        let u = unit_interval(x);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Analysis: bounds stay within [0, 1] and respect monotonicity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn completeness_bounds_are_probabilities(
+        n in 10u64..5000,
+        k in 2.0f64..16.0,
+        b in 0.25f64..6.0,
+    ) {
+        let c1 = analysis::c1(n, k, b);
+        let ci = analysis::ci_lower_bound(n as f64, k, b);
+        let inc = analysis::c1_incompleteness(n, k, b);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!((0.0..=1.0).contains(&ci));
+        prop_assert!((0.0..=1.0).contains(&inc));
+        prop_assert!((c1 + inc - 1.0).abs() < 1e-9 || inc < 1e-12);
+    }
+
+    #[test]
+    fn epidemic_noninfected_decreases(m in 2.0f64..10_000.0, b in 0.1f64..8.0) {
+        let mut prev = analysis::noninfected(m, b, 0.0);
+        for t in 1..10 {
+            let x = analysis::noninfected(m, b, t as f64);
+            prop_assert!(x <= prev + 1e-12);
+            prop_assert!(x >= 0.0);
+            prev = x;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end protocol invariants (small groups; proptest-driven
+// parameters with a reduced case count because each case is a full
+// simulation).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn protocol_never_double_counts_and_stays_in_unit_range(
+        n in 8usize..120,
+        k in 2u8..6,
+        ucastl in 0.0f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ExperimentConfig::paper_defaults().with_n(n).with_ucastl(ucastl);
+        cfg.k = k;
+        cfg.pf = 0.0;
+        // Tagged::try_merge panics inside the protocol if a vote would
+        // be double counted, so simply completing the run checks the
+        // invariant; completeness is additionally a probability.
+        let report = run_hiergossip::<Average>(&cfg, seed % 1_000_003);
+        for o in &report.outcomes {
+            if let MemberOutcome::Completed { completeness, .. } = o {
+                prop_assert!((0.0..=1.0).contains(completeness));
+            }
+        }
+        prop_assert!(report.mean_incompleteness() >= 0.0);
+        prop_assert!(report.messages() > 0);
+    }
+
+    #[test]
+    fn estimates_bounded_by_vote_range(
+        n in 8usize..100,
+        seed in any::<u64>(),
+    ) {
+        // Average of votes in [lo, hi] must stay inside [lo, hi] for
+        // every member, complete or not (no-double-counting implies the
+        // estimate is a true average of a vote subset).
+        let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
+        cfg.vote = VoteSpec::Uniform { lo: 40.0, hi: 60.0 };
+        let report = run_hiergossip::<Average>(&cfg, seed % 1_000_003);
+        for o in &report.outcomes {
+            if let MemberOutcome::Completed { value, .. } = o {
+                prop_assert!((40.0..=60.0).contains(value), "estimate {value} out of range");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire codec fuzz: decoding arbitrary bytes must never panic, and
+// encode→decode must round-trip.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Average::decode(&mut bytes.as_slice());
+        let _ = Sum::decode(&mut bytes.as_slice());
+        let _ = Min::decode(&mut bytes.as_slice());
+        let _ = Max::decode(&mut bytes.as_slice());
+        let _ = Count::decode(&mut bytes.as_slice());
+        let _ = Histogram16::decode(&mut bytes.as_slice());
+        let _ = TopK::decode(&mut bytes.as_slice());
+        let _ = MeanVar::decode(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn wire_roundtrip_average(votes in votes_strategy()) {
+        let a: Average = fold(&votes);
+        let mut buf = Vec::new();
+        a.encode(&mut buf);
+        prop_assert_eq!(buf.len(), a.wire_size());
+        let d = Average::decode(&mut buf.as_slice()).unwrap();
+        prop_assert!((d.summary() - a.summary()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_roundtrip_topk(votes in votes_strategy()) {
+        let t: TopK = fold(&votes);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let d = TopK::decode(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(d, t);
+    }
+}
