@@ -1,221 +1,184 @@
-//! Criterion benchmarks, one group per reproduced figure/table.
+//! Protocol benchmarks, one group per reproduced figure/table.
 //!
 //! Each benchmark times one representative simulation run (or analytic
 //! evaluation) of the corresponding experiment, so `cargo bench` both
 //! exercises every experiment path end-to-end and tracks the
 //! simulator's performance over time. The full sweeps (many runs per
-//! point) live in the `figNN` binaries.
+//! point) live in the `figNN` binaries. Runs with `harness = false`
+//! through the minimal timer in `gridagg_bench::time_it`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use gridagg_aggregate::Average;
 use gridagg_analysis::{c1_incompleteness, ci_lower_bound};
+use gridagg_bench::time_it;
 use gridagg_core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::{
     run_centralized, run_flatgossip, run_flood, run_hiergossip, run_leader_election,
 };
 
-fn fig04_fig05_analytic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig04_fig05_analytic_c1");
+fn fig04_fig05_analytic() {
     for n in [1000u64, 4000] {
-        g.bench_with_input(BenchmarkId::new("c1_incompleteness", n), &n, |b, &n| {
-            b.iter(|| black_box(c1_incompleteness(black_box(n), 2.0, 4.0)));
-        });
-    }
-    g.bench_function("ci_lower_bound", |b| {
-        b.iter(|| black_box(ci_lower_bound(black_box(2000.0), 2.0, 4.0)));
-    });
-    g.finish();
-}
-
-fn fig06_scalability(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig06_incompleteness_vs_n");
-    g.sample_size(10);
-    for n in [200usize, 800] {
-        let cfg = ExperimentConfig::paper_defaults().with_n(n);
-        g.bench_with_input(BenchmarkId::new("hiergossip", n), &cfg, |b, cfg| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                black_box(run_hiergossip::<Average>(cfg, seed))
-            });
-        });
-    }
-    g.finish();
-}
-
-fn fig07_loss(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig07_incompleteness_vs_ucastl");
-    g.sample_size(10);
-    for ucastl in [0.25f64, 0.7] {
-        let cfg = ExperimentConfig::paper_defaults().with_ucastl(ucastl);
-        g.bench_with_input(
-            BenchmarkId::new("hiergossip", format!("{ucastl}")),
-            &cfg,
-            |b, cfg| {
-                let mut seed = 0;
-                b.iter(|| {
-                    seed += 1;
-                    black_box(run_hiergossip::<Average>(cfg, seed))
-                });
+        time_it(
+            "fig04_fig05_analytic_c1",
+            &format!("c1_incompleteness/{n}"),
+            || {
+                black_box(c1_incompleteness(black_box(n), 2.0, 4.0));
             },
         );
     }
-    g.finish();
+    time_it("fig04_fig05_analytic_c1", "ci_lower_bound", || {
+        black_box(ci_lower_bound(black_box(2000.0), 2.0, 4.0));
+    });
 }
 
-fn fig08_gossip_rate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig08_incompleteness_vs_rounds_per_phase");
-    g.sample_size(10);
+fn fig06_scalability() {
+    for n in [200usize, 800] {
+        let cfg = ExperimentConfig::paper_defaults().with_n(n);
+        let mut seed = 0;
+        time_it(
+            "fig06_incompleteness_vs_n",
+            &format!("hiergossip/{n}"),
+            || {
+                seed += 1;
+                black_box(run_hiergossip::<Average>(&cfg, seed));
+            },
+        );
+    }
+}
+
+fn fig07_loss() {
+    for ucastl in [0.25f64, 0.7] {
+        let cfg = ExperimentConfig::paper_defaults().with_ucastl(ucastl);
+        let mut seed = 0;
+        time_it(
+            "fig07_incompleteness_vs_ucastl",
+            &format!("hiergossip/{ucastl}"),
+            || {
+                seed += 1;
+                black_box(run_hiergossip::<Average>(&cfg, seed));
+            },
+        );
+    }
+}
+
+fn fig08_gossip_rate() {
     for rpp in [1u32, 5] {
         let cfg = ExperimentConfig::paper_defaults().with_rounds_per_phase(rpp);
-        g.bench_with_input(BenchmarkId::new("hiergossip", rpp), &cfg, |b, cfg| {
-            let mut seed = 0;
-            b.iter(|| {
+        let mut seed = 0;
+        time_it(
+            "fig08_incompleteness_vs_rounds_per_phase",
+            &format!("hiergossip/{rpp}"),
+            || {
                 seed += 1;
-                black_box(run_hiergossip::<Average>(cfg, seed))
-            });
-        });
+                black_box(run_hiergossip::<Average>(&cfg, seed));
+            },
+        );
     }
-    g.finish();
 }
 
-fn fig09_partition(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig09_incompleteness_vs_partl");
-    g.sample_size(10);
+fn fig09_partition() {
     let cfg = ExperimentConfig::paper_defaults().with_partl(0.6);
-    g.bench_function("hiergossip_partl_0.6", |b| {
-        let mut seed = 0;
-        b.iter(|| {
+    let mut seed = 0;
+    time_it(
+        "fig09_incompleteness_vs_partl",
+        "hiergossip_partl_0.6",
+        || {
             seed += 1;
-            black_box(run_hiergossip::<Average>(&cfg, seed))
-        });
-    });
-    g.finish();
+            black_box(run_hiergossip::<Average>(&cfg, seed));
+        },
+    );
 }
 
-fn fig10_crashes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_incompleteness_vs_pf");
-    g.sample_size(10);
+fn fig10_crashes() {
     let cfg = ExperimentConfig::paper_defaults().with_pf(0.008);
-    g.bench_function("hiergossip_pf_0.008", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_hiergossip::<Average>(&cfg, seed))
-        });
+    let mut seed = 0;
+    time_it("fig10_incompleteness_vs_pf", "hiergossip_pf_0.008", || {
+        seed += 1;
+        black_box(run_hiergossip::<Average>(&cfg, seed));
     });
-    g.finish();
 }
 
-fn fig11_bound(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_bound_check");
-    g.sample_size(10);
+fn fig11_bound() {
     let mut cfg = ExperimentConfig::paper_defaults()
         .with_n(300)
         .with_ucastl(0.0);
     cfg.pf = 0.0;
     cfg.round_factor = 1.4;
-    g.bench_function("hiergossip_n300_c1.4", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_hiergossip::<Average>(&cfg, seed))
-        });
+    let mut seed = 0;
+    time_it("fig11_bound_check", "hiergossip_n300_c1.4", || {
+        seed += 1;
+        black_box(run_hiergossip::<Average>(&cfg, seed));
     });
-    g.finish();
 }
 
-fn complexity_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("complexity_table_protocols");
-    g.sample_size(10);
+fn complexity_table() {
     let n = 128usize;
     let mut cfg = ExperimentConfig::paper_defaults()
         .with_n(n)
         .with_ucastl(0.0);
     cfg.pf = 0.0;
-    g.bench_function("hiergossip", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_hiergossip::<Average>(&cfg, seed))
-        });
+    let mut seed = 0;
+    time_it("complexity_table_protocols", "hiergossip", || {
+        seed += 1;
+        black_box(run_hiergossip::<Average>(&cfg, seed));
     });
-    g.bench_function("flood", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_flood::<Average>(&cfg, FloodConfig::default(), seed))
-        });
+    let mut seed = 0;
+    time_it("complexity_table_protocols", "flood", || {
+        seed += 1;
+        black_box(run_flood::<Average>(&cfg, FloodConfig::default(), seed));
     });
-    g.bench_function("centralized", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_centralized::<Average>(
-                &cfg,
-                CentralizedConfig::for_group(n),
-                seed,
-            ))
-        });
+    let mut seed = 0;
+    time_it("complexity_table_protocols", "centralized", || {
+        seed += 1;
+        black_box(run_centralized::<Average>(
+            &cfg,
+            CentralizedConfig::for_group(n),
+            seed,
+        ));
     });
-    g.bench_function("leader_election", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_leader_election::<Average>(
-                &cfg,
-                LeaderElectionConfig::default(),
-                seed,
-            ))
-        });
+    let mut seed = 0;
+    time_it("complexity_table_protocols", "leader_election", || {
+        seed += 1;
+        black_box(run_leader_election::<Average>(
+            &cfg,
+            LeaderElectionConfig::default(),
+            seed,
+        ));
     });
-    g.bench_function("flatgossip", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_flatgossip::<Average>(&cfg, seed))
-        });
+    let mut seed = 0;
+    time_it("complexity_table_protocols", "flatgossip", || {
+        seed += 1;
+        black_box(run_flatgossip::<Average>(&cfg, seed));
     });
-    g.finish();
 }
 
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
+fn ablations() {
     let mut topo = ExperimentConfig::paper_defaults();
     topo.topo_aware = true;
-    g.bench_function("topo_aware_placement_run", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_hiergossip::<Average>(&topo, seed))
-        });
+    let mut seed = 0;
+    time_it("ablations", "topo_aware_placement_run", || {
+        seed += 1;
+        black_box(run_hiergossip::<Average>(&topo, seed));
     });
     let mut push = ExperimentConfig::paper_defaults();
     push.batch_exchange = false;
-    g.bench_function("one_value_push_run", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            black_box(run_hiergossip::<Average>(&push, seed))
-        });
+    let mut seed = 0;
+    time_it("ablations", "one_value_push_run", || {
+        seed += 1;
+        black_box(run_hiergossip::<Average>(&push, seed));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    fig04_fig05_analytic,
-    fig06_scalability,
-    fig07_loss,
-    fig08_gossip_rate,
-    fig09_partition,
-    fig10_crashes,
-    fig11_bound,
-    complexity_table,
-    ablations
-);
-criterion_main!(benches);
+fn main() {
+    fig04_fig05_analytic();
+    fig06_scalability();
+    fig07_loss();
+    fig08_gossip_rate();
+    fig09_partition();
+    fig10_crashes();
+    fig11_bound();
+    complexity_table();
+    ablations();
+}

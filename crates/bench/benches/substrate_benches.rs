@@ -1,12 +1,13 @@
-//! Criterion microbenchmarks for the substrate crates: the hot paths a
-//! downstream user of the library would care about — aggregate merges,
-//! vote-set operations, hierarchy addressing, placement, scope-index
-//! construction, and the raw network loop.
+//! Microbenchmarks for the substrate crates: the hot paths a downstream
+//! user of the library would care about — aggregate merges, vote-set
+//! operations, hierarchy addressing, placement, scope-index
+//! construction, and the raw network loop. Runs with `harness = false`
+//! through the minimal timer in `gridagg_bench::time_it`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use gridagg_aggregate::{Aggregate, Average, MeanVar, Tagged, VoteSet};
+use gridagg_bench::time_it;
 use gridagg_core::baselines::{LeaderDirectory, LeaderElectionConfig};
 use gridagg_core::scope::ScopeIndex;
 use gridagg_group::view::View;
@@ -17,161 +18,134 @@ use gridagg_simnet::rng::DetRng;
 use gridagg_simnet::topology::{make_field, FieldKind};
 use gridagg_simnet::NodeId;
 
-fn aggregates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("aggregate_merge");
-    g.bench_function("average_chain_1k", |b| {
-        b.iter(|| {
-            let mut acc = Average::from_vote(0.0);
-            for i in 1..1000 {
-                acc.merge(&Average::from_vote(black_box(i as f64)));
-            }
-            black_box(acc)
-        });
+fn aggregates() {
+    time_it("aggregate_merge", "average_chain_1k", || {
+        let mut acc = Average::from_vote(0.0);
+        for i in 1..1000 {
+            acc.merge(&Average::from_vote(black_box(i as f64)));
+        }
+        black_box(acc);
     });
-    g.bench_function("meanvar_chain_1k", |b| {
-        b.iter(|| {
-            let mut acc = MeanVar::from_vote(0.0);
-            for i in 1..1000 {
-                acc.merge(&MeanVar::from_vote(black_box(i as f64)));
-            }
-            black_box(acc)
-        });
+    time_it("aggregate_merge", "meanvar_chain_1k", || {
+        let mut acc = MeanVar::from_vote(0.0);
+        for i in 1..1000 {
+            acc.merge(&MeanVar::from_vote(black_box(i as f64)));
+        }
+        black_box(acc);
     });
-    g.bench_function("tagged_merge_disjoint_256", |b| {
-        b.iter(|| {
-            let mut acc = Tagged::<Average>::empty(256);
-            for i in 0..256 {
-                acc.try_merge(&Tagged::from_vote(i, i as f64, 256)).unwrap();
-            }
-            black_box(acc)
-        });
+    time_it("aggregate_merge", "tagged_merge_disjoint_256", || {
+        let mut acc = Tagged::<Average>::empty(256);
+        for i in 0..256 {
+            acc.try_merge(&Tagged::from_vote(i, i as f64, 256)).unwrap();
+        }
+        black_box(acc);
     });
-    g.finish();
 }
 
-fn votesets(c: &mut Criterion) {
-    let mut g = c.benchmark_group("voteset");
-    g.bench_function("insert_4k", |b| {
-        b.iter(|| {
-            let mut s = VoteSet::new(4096);
-            for i in 0..4096 {
-                s.insert(black_box(i));
-            }
-            black_box(s)
-        });
+fn votesets() {
+    time_it("voteset", "insert_4k", || {
+        let mut s = VoteSet::new(4096);
+        for i in 0..4096 {
+            s.insert(black_box(i));
+        }
+        black_box(s);
     });
     let a: VoteSet = (0..2048).collect();
     let bset: VoteSet = (2048..4096).collect();
-    g.bench_function("disjoint_check_4k", |b| {
-        b.iter(|| black_box(a.is_disjoint(black_box(&bset))));
+    time_it("voteset", "disjoint_check_4k", || {
+        black_box(a.is_disjoint(black_box(&bset)));
     });
-    g.bench_function("union_4k", |b| {
-        b.iter(|| {
-            let mut x = a.clone();
-            x.union_with(black_box(&bset));
-            black_box(x)
-        });
+    time_it("voteset", "union_4k", || {
+        let mut x = a.clone();
+        x.union_with(black_box(&bset));
+        black_box(x);
     });
-    g.finish();
 }
 
-fn hierarchy_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hierarchy");
+fn hierarchy_ops() {
     let h = Hierarchy::for_group(4, 4096).unwrap();
-    g.bench_function("box_of_unit", |b| {
-        let mut u = 0.0f64;
-        b.iter(|| {
-            u = (u + 0.618_034) % 1.0;
-            black_box(h.box_of_unit(black_box(u)))
-        });
+    let mut u = 0.0f64;
+    time_it("hierarchy", "box_of_unit", || {
+        u = (u + 0.618_034) % 1.0;
+        black_box(h.box_of_unit(black_box(u)));
     });
     let addr = h.box_at(37);
-    g.bench_function("scope_chain", |b| {
-        b.iter(|| {
-            for phase in 1..=h.phases() {
-                black_box(h.scope(black_box(&addr), phase));
-            }
-        });
+    time_it("hierarchy", "scope_chain", || {
+        for phase in 1..=h.phases() {
+            black_box(h.scope(black_box(&addr), phase));
+        }
     });
     let fair = FairHashPlacement::new(h, 7);
-    g.bench_function("fair_hash_place", |b| {
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(fair.place(NodeId(i % 4096)))
-        });
+    let mut i = 0u32;
+    time_it("hierarchy", "fair_hash_place", || {
+        i = i.wrapping_add(1);
+        black_box(fair.place(NodeId(i % 4096)));
     });
-    g.finish();
 }
 
-fn placement_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("placement_and_index_build");
-    g.sample_size(20);
+fn placement_build() {
     let h = Hierarchy::for_group(4, 1024).unwrap();
     let field = make_field(FieldKind::UniformRandom, 1024, &mut DetRng::seeded(1));
-    g.bench_function("topological_placement_1k", |b| {
-        b.iter(|| black_box(TopologicalPlacement::new(h, black_box(&field))));
-    });
+    time_it(
+        "placement_and_index_build",
+        "topological_placement_1k",
+        || {
+            black_box(TopologicalPlacement::new(h, black_box(&field)));
+        },
+    );
     let fair = FairHashPlacement::new(h, 7);
     let view = View::complete(1024);
-    g.bench_function("scope_index_build_1k", |b| {
-        b.iter(|| black_box(ScopeIndex::build(black_box(&view), &fair)));
+    time_it("placement_and_index_build", "scope_index_build_1k", || {
+        black_box(ScopeIndex::build(black_box(&view), &fair));
     });
     let index = ScopeIndex::build(&view, &fair);
-    g.bench_function("leader_directory_build_1k", |b| {
-        let cfg = LeaderElectionConfig::default();
-        b.iter(|| black_box(LeaderDirectory::build(black_box(&index), &cfg)));
-    });
-    g.finish();
+    let cfg = LeaderElectionConfig::default();
+    time_it(
+        "placement_and_index_build",
+        "leader_directory_build_1k",
+        || {
+            black_box(LeaderDirectory::build(black_box(&index), &cfg));
+        },
+    );
 }
 
-fn network_loop(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simnet");
-    g.bench_function("send_drain_10k_msgs", |b| {
-        b.iter(|| {
-            let cfg = NetworkConfig::default().with_loss(UniformLoss::new(0.25).unwrap());
-            let mut net: SimNetwork<u64> = SimNetwork::new(cfg, 1);
-            for round in 0..10u64 {
-                let _ = black_box(net.drain(round));
-                for i in 0..1000u32 {
-                    net.send(round, NodeId(i), NodeId((i + 1) % 1000), round, 16);
-                }
+fn network_loop() {
+    time_it("simnet", "send_drain_10k_msgs", || {
+        let cfg = NetworkConfig::default().with_loss(UniformLoss::new(0.25).unwrap());
+        let mut net: SimNetwork<u64> = SimNetwork::new(cfg, 1);
+        for round in 0..10u64 {
+            let _ = black_box(net.drain(round));
+            for i in 0..1000u32 {
+                net.send(round, NodeId(i), NodeId((i + 1) % 1000), round, 16);
             }
-            black_box(net.stats().sent)
-        });
+        }
+        black_box(net.stats().sent);
     });
-    g.bench_function("sample_distinct_fanout2_of_200", |b| {
-        let mut rng = DetRng::seeded(3);
-        b.iter(|| black_box(rng.sample_distinct(200, Some(7), 2)));
+    let mut rng = DetRng::seeded(3);
+    time_it("simnet", "sample_distinct_fanout2_of_200", || {
+        black_box(rng.sample_distinct(200, Some(7), 2));
     });
-    g.finish();
 }
 
-fn addr_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("addr");
-    g.bench_function("from_index_and_back", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            let a = Addr::from_index(4, 6, black_box(i)).unwrap();
-            black_box(a.index())
-        });
+fn addr_ops() {
+    let mut i = 0u64;
+    time_it("addr", "from_index_and_back", || {
+        i = (i + 1) % 4096;
+        let a = Addr::from_index(4, 6, black_box(i)).unwrap();
+        black_box(a.index());
     });
     let a = Addr::from_index(4, 6, 1234).unwrap();
     let p = a.prefix(3);
-    g.bench_function("contains", |b| {
-        b.iter(|| black_box(p.contains(black_box(&a))));
+    time_it("addr", "contains", || {
+        black_box(p.contains(black_box(&a)));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    aggregates,
-    votesets,
-    hierarchy_ops,
-    placement_build,
-    network_loop,
-    addr_ops
-);
-criterion_main!(benches);
+fn main() {
+    aggregates();
+    votesets();
+    hierarchy_ops();
+    placement_build();
+    network_loop();
+    addr_ops();
+}

@@ -4,7 +4,7 @@
 //! gossip next round. Here deliveries take uniformly 1..=D rounds: each
 //! extra round of jitter stretches phases relative to the per-phase
 //! timeout, degrading completeness smoothly — the protocol needs no
-//! synchrony, only that "clock drifts [be] much smaller than the
+//! synchrony, only that "clock drifts \[be\] much smaller than the
 //! protocol running time" (§6.3).
 
 use gridagg_aggregate::Average;

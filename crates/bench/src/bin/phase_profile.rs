@@ -45,10 +45,7 @@ fn main() {
     for round in 0..500u64 {
         for env in net.drain(round) {
             let to = env.to.index();
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rngs[to],
-            };
+            let mut ctx = Ctx::new(round, &mut rngs[to]);
             protos[to].on_message(env.from, env.payload, &mut ctx, &mut out);
             for (t, p) in out.drain() {
                 let b = p.wire_size();
@@ -61,10 +58,7 @@ fn main() {
                 continue;
             }
             live = true;
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rngs[i],
-            };
+            let mut ctx = Ctx::new(round, &mut rngs[i]);
             proto.on_round(&mut ctx, &mut out);
             let me = MemberId(i as u32);
             for (t, p) in out.drain() {

@@ -67,15 +67,36 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Serialize a value as pretty JSON under the output directory —
 /// experiment configs are recorded next to their results so every CSV
 /// is reproducible from its own provenance file.
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+pub fn write_json<T: gridagg_core::json::ToJson>(name: &str, value: &T) {
     let path = out_dir().join(name);
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => match std::fs::write(&path, body) {
-            Ok(()) => eprintln!("wrote {}", path.display()),
-            Err(e) => eprintln!("could not write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    let body = value.to_json().to_string_pretty();
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
+}
+
+/// Minimal timing harness used by the `benches/` targets (they run with
+/// `harness = false`): one warm-up call calibrates an iteration count
+/// targeting ~300ms of work, then the mean per-iteration time is
+/// printed. `GRIDAGG_BENCH_MS` overrides the time budget per benchmark.
+pub fn time_it(group: &str, name: &str, mut f: impl FnMut()) {
+    use std::time::{Duration, Instant};
+    let budget_ms = std::env::var("GRIDAGG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let target = Duration::from_millis(budget_ms);
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per = start.elapsed() / iters;
+    println!("{group}/{name:<44} {per:>12?}  ({iters} iters)");
 }
 
 /// Format a float in compact scientific-ish notation for tables.

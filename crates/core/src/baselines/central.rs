@@ -19,6 +19,7 @@ use gridagg_simnet::Round;
 
 use crate::message::Payload;
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
+use crate::trace::TraceEvent;
 
 /// Parameters of the centralized baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,11 +189,30 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
                         return; // implosion: dropped at the leader
                     }
                 }
+                let before = self.acc.vote_count();
                 let _ = self
                     .acc
                     .try_merge(&Tagged::from_vote(member.index(), value, self.n));
+                if self.acc.vote_count() != before {
+                    let me = self.me;
+                    let round = ctx.round;
+                    let votes = self.acc.vote_count() as u64;
+                    ctx.emit(|| TraceEvent::Coverage {
+                        member: me,
+                        round,
+                        votes,
+                    });
+                }
             }
             Payload::Final { agg } => {
+                let me = self.me;
+                let round = ctx.round;
+                let votes = agg.vote_count() as u64;
+                ctx.emit(|| TraceEvent::Coverage {
+                    member: me,
+                    round,
+                    votes,
+                });
                 self.finish(ctx.round, agg);
             }
             _ => {}
@@ -219,7 +239,7 @@ mod tests {
     use gridagg_simnet::rng::DetRng;
 
     fn ctx(round: Round, rng: &mut DetRng) -> Ctx<'_> {
-        Ctx { round, rng }
+        Ctx::new(round, rng)
     }
 
     #[test]

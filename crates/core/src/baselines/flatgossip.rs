@@ -14,6 +14,7 @@ use gridagg_simnet::Round;
 
 use crate::message::Payload;
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
+use crate::trace::TraceEvent;
 
 /// Parameters of flat gossip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +103,7 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
         &mut self,
         _from: MemberId,
         payload: Payload<A>,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         _out: &mut Outbox<A>,
     ) {
         if self.done_at.is_some() {
@@ -111,6 +112,14 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
         if let Payload::Vote { member, value } = payload {
             if self.have.insert(member.0) {
                 self.known.push((member, value));
+                let me = self.me;
+                let round = ctx.round;
+                let votes = self.known.len() as u64;
+                ctx.emit(|| TraceEvent::Coverage {
+                    member: me,
+                    round,
+                    votes,
+                });
             }
         }
     }
@@ -144,10 +153,7 @@ mod tests {
         let mut rng = DetRng::seeded(1);
         let mut out = Outbox::new();
         for round in 0..=5 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
         }
         assert!(p.is_done());
@@ -166,10 +172,7 @@ mod tests {
         let mut out = Outbox::new();
         let mut seen = HashSet::new();
         for round in 0..50 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
             for (to, _) in out.drain() {
                 assert_ne!(to, MemberId(4));
@@ -185,10 +188,7 @@ mod tests {
         let mut p: FlatGossip<Average> = FlatGossip::new(MemberId(0), 3.0, 10, cfg);
         let mut rng = DetRng::seeded(1);
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         let msg = Payload::Vote {
             member: MemberId(7),
             value: 1.0,

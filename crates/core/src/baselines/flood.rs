@@ -13,6 +13,7 @@ use gridagg_simnet::Round;
 
 use crate::message::Payload;
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
+use crate::trace::TraceEvent;
 
 /// Parameters of the flood baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +103,7 @@ impl<A: Aggregate> AggregationProtocol<A> for Flood<A> {
         &mut self,
         _from: MemberId,
         payload: Payload<A>,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         _out: &mut Outbox<A>,
     ) {
         if self.done_at.is_some() {
@@ -111,9 +112,20 @@ impl<A: Aggregate> AggregationProtocol<A> for Flood<A> {
         if let Payload::Vote { member, value } = payload {
             // each member floods its own vote exactly once, but be
             // robust to duplicates anyway
+            let before = self.acc.vote_count();
             let _ = self
                 .acc
                 .try_merge(&Tagged::from_vote(member.index(), value, self.n));
+            if self.acc.vote_count() != before {
+                let me = self.me;
+                let round = ctx.round;
+                let votes = self.acc.vote_count() as u64;
+                ctx.emit(|| TraceEvent::Coverage {
+                    member: me,
+                    round,
+                    votes,
+                });
+            }
         }
     }
 
@@ -138,10 +150,7 @@ mod tests {
 
     fn step<A: Aggregate>(p: &mut Flood<A>, round: Round, out: &mut Outbox<A>) {
         let mut rng = DetRng::seeded(0);
-        let mut ctx = Ctx {
-            round,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(round, &mut rng);
         p.on_round(&mut ctx, out);
     }
 
@@ -188,10 +197,7 @@ mod tests {
         let mut p: Flood<Average> = Flood::new(MemberId(0), 0.0, 4, FloodConfig::default());
         let mut rng = DetRng::seeded(0);
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         let msg = Payload::Vote {
             member: MemberId(1),
             value: 4.0,

@@ -34,6 +34,7 @@ use gridagg_simnet::Round;
 use crate::message::Payload;
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
 use crate::scope::ScopeIndex;
+use crate::trace::TraceEvent;
 
 /// Parameters of the leader-election baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -330,30 +331,61 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
         &mut self,
         _from: MemberId,
         payload: Payload<A>,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         _out: &mut Outbox<A>,
     ) {
         if self.done_at.is_some() {
             return;
         }
-        match payload {
+        let changed = match payload {
             Payload::Vote { member, value } => {
                 if self.index.box_of(member) == self.my_box && self.have_vote.insert(member.0) {
                     self.votes.push((member, value));
+                    true
+                } else {
+                    false
                 }
             }
             Payload::Agg { subtree, agg } => {
                 if subtree.parent().is_some_and(|p| p.contains(&self.my_box)) {
-                    self.aggs.entry(subtree).or_insert(agg);
+                    let mut inserted = false;
+                    self.aggs.entry(subtree).or_insert_with(|| {
+                        inserted = true;
+                        agg
+                    });
+                    inserted
+                } else {
+                    false
                 }
             }
             Payload::Final { agg } => {
+                let had = self.result.is_some();
                 self.result.get_or_insert(agg);
+                !had
             }
             Payload::VoteBatch { .. } | Payload::AggBatch { .. } => {
                 // batch gossip is a hierarchical-gossip wire form; the
                 // leader protocol never emits or consumes it
+                false
             }
+        };
+        if changed && ctx.is_traced() {
+            // coverage = what this member would report now: the final
+            // result if present, else its gathered votes/child aggs
+            let votes = match &self.result {
+                Some(agg) => agg.vote_count() as u64,
+                None => {
+                    let from_aggs: u64 = self.aggs.values().map(|a| a.vote_count() as u64).sum();
+                    from_aggs.max(self.votes.len() as u64)
+                }
+            };
+            let me = self.me;
+            let round = ctx.round;
+            ctx.emit(|| TraceEvent::Coverage {
+                member: me,
+                round,
+                votes,
+            });
         }
     }
 

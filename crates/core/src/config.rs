@@ -3,16 +3,15 @@
 //! [`ExperimentConfig`] is the single knob-set for a simulation run,
 //! with defaults equal to the paper's §7 defaults:
 //! `N = 200, ucastl = 0.25, pf = 0.001, K = 4, M = 2, C = 1.0`.
-//! It serializes (serde) so experiment definitions can be recorded next
-//! to their results.
-
-use serde::{Deserialize, Serialize};
+//! It serializes (via [`crate::json`]) so experiment definitions can be
+//! recorded next to their results.
 
 use crate::hiergossip::HierGossipConfig;
+use crate::json::{field, opt_field, FromJson, Json, ToJson};
 
 /// How member votes are drawn (serializable mirror of
 /// [`gridagg_group::VoteDistribution`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum VoteSpec {
     /// Uniform in `[lo, hi]`.
     Uniform {
@@ -44,8 +43,53 @@ impl From<VoteSpec> for gridagg_group::VoteDistribution {
     }
 }
 
+impl ToJson for VoteSpec {
+    fn to_json(&self) -> Json {
+        // externally tagged, matching the serde-derive layout earlier
+        // revisions wrote into results/*.config.json
+        match *self {
+            VoteSpec::Uniform { lo, hi } => Json::Obj(vec![(
+                "Uniform".into(),
+                Json::Obj(vec![
+                    ("lo".into(), lo.to_json()),
+                    ("hi".into(), hi.to_json()),
+                ]),
+            )]),
+            VoteSpec::Gaussian { mean, std_dev } => Json::Obj(vec![(
+                "Gaussian".into(),
+                Json::Obj(vec![
+                    ("mean".into(), mean.to_json()),
+                    ("std_dev".into(), std_dev.to_json()),
+                ]),
+            )]),
+            VoteSpec::Index => Json::Str("Index".into()),
+        }
+    }
+}
+
+impl FromJson for VoteSpec {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        if value.as_str() == Some("Index") {
+            return Ok(VoteSpec::Index);
+        }
+        if let Some(body) = value.get("Uniform") {
+            return Ok(VoteSpec::Uniform {
+                lo: field(body, "lo")?,
+                hi: field(body, "hi")?,
+            });
+        }
+        if let Some(body) = value.get("Gaussian") {
+            return Ok(VoteSpec::Gaussian {
+                mean: field(body, "mean")?,
+                std_dev: field(body, "std_dev")?,
+            });
+        }
+        Err("unknown VoteSpec variant".to_string())
+    }
+}
+
 /// Full parameter set for one experiment point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExperimentConfig {
     /// Group size `N`.
     pub n: usize,
@@ -124,6 +168,58 @@ impl Default for ExperimentConfig {
             max_delay: None,
             vote: VoteSpec::Uniform { lo: 0.0, hi: 100.0 },
         }
+    }
+}
+
+impl ToJson for ExperimentConfig {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("n".into(), self.n.to_json()),
+            ("k".into(), self.k.to_json()),
+            ("fanout".into(), self.fanout.to_json()),
+            ("round_factor".into(), self.round_factor.to_json()),
+            ("rounds_per_phase".into(), self.rounds_per_phase.to_json()),
+            ("ucastl".into(), self.ucastl.to_json()),
+            ("partl".into(), self.partl.to_json()),
+            ("pf".into(), self.pf.to_json()),
+            ("early_bump".into(), self.early_bump.to_json()),
+            ("phase1_early_exit".into(), self.phase1_early_exit.to_json()),
+            ("topo_aware".into(), self.topo_aware.to_json()),
+            ("positioned".into(), self.positioned.to_json()),
+            ("bandwidth_cap".into(), self.bandwidth_cap.to_json()),
+            ("batch_exchange".into(), self.batch_exchange.to_json()),
+            ("partial_view".into(), self.partial_view.to_json()),
+            ("n_estimate".into(), self.n_estimate.to_json()),
+            ("start_spread".into(), self.start_spread.to_json()),
+            ("max_delay".into(), self.max_delay.to_json()),
+            ("vote".into(), self.vote.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentConfig {
+    fn from_json(value: &Json) -> Result<Self, String> {
+        Ok(ExperimentConfig {
+            n: field(value, "n")?,
+            k: field(value, "k")?,
+            fanout: field(value, "fanout")?,
+            round_factor: field(value, "round_factor")?,
+            rounds_per_phase: opt_field(value, "rounds_per_phase")?,
+            ucastl: field(value, "ucastl")?,
+            partl: opt_field(value, "partl")?,
+            pf: field(value, "pf")?,
+            early_bump: field(value, "early_bump")?,
+            phase1_early_exit: field(value, "phase1_early_exit")?,
+            topo_aware: field(value, "topo_aware")?,
+            positioned: field(value, "positioned")?,
+            bandwidth_cap: opt_field(value, "bandwidth_cap")?,
+            batch_exchange: field(value, "batch_exchange")?,
+            partial_view: opt_field(value, "partial_view")?,
+            n_estimate: opt_field(value, "n_estimate")?,
+            start_spread: opt_field(value, "start_spread")?,
+            max_delay: opt_field(value, "max_delay")?,
+            vote: field(value, "vote")?,
+        })
     }
 }
 
@@ -312,9 +408,25 @@ mod tests {
             mean: 10.0,
             std_dev: 2.0,
         };
-        let json = serde_json::to_string(&cfg).expect("serialize");
-        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        let json = cfg.to_json().to_string_pretty();
+        let parsed = Json::parse(&json).expect("parse");
+        let back = ExperimentConfig::from_json(&parsed).expect("deserialize");
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_reads_previously_recorded_serde_layout() {
+        // the exact text serde-derive wrote for the defaults in earlier
+        // revisions (see results/*.config.json) must keep parsing
+        let recorded = r#"{"n":200,"k":4,"fanout":2,"round_factor":1.0,
+            "rounds_per_phase":null,"ucastl":0.25,"partl":null,"pf":0.001,
+            "early_bump":true,"phase1_early_exit":false,"topo_aware":false,
+            "positioned":false,"bandwidth_cap":null,"batch_exchange":true,
+            "partial_view":null,"n_estimate":null,"start_spread":null,
+            "max_delay":null,"vote":{"Uniform":{"lo":0.0,"hi":100.0}}}"#;
+        let parsed = Json::parse(recorded).expect("parse");
+        let cfg = ExperimentConfig::from_json(&parsed).expect("deserialize");
+        assert_eq!(cfg, ExperimentConfig::paper_defaults());
     }
 
     #[test]

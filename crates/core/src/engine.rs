@@ -17,15 +17,16 @@
 //! thereafter members proceed asynchronously.
 
 use gridagg_aggregate::wire::WireAggregate;
-use gridagg_group::failure::FailureProcess;
+use gridagg_group::failure::{FailureProcess, LivenessEvent};
 use gridagg_group::MemberId;
-use gridagg_simnet::network::SimNetwork;
+use gridagg_simnet::network::{SendOutcome, SimNetwork};
 use gridagg_simnet::rng::DetRng;
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
 use crate::metrics::{MemberOutcome, RunReport};
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 
 /// The assembled simulation for one run.
 #[derive(Debug)]
@@ -105,13 +106,43 @@ where
 
     /// Run to completion (all alive members done) or to the round cap,
     /// consuming the simulation and returning the report.
-    pub fn run(mut self) -> RunReport {
+    ///
+    /// Equivalent to [`Simulation::run_with`] with tracing disabled.
+    pub fn run(self) -> RunReport {
+        self.run_with(&mut NoTrace)
+    }
+
+    /// Run, narrating the run to `sink` as [`TraceEvent`]s.
+    ///
+    /// With the default [`NoTrace`] sink every emission site compiles
+    /// away (`S::ENABLED` is `const false`), so the traced and untraced
+    /// paths execute identical protocol and network decisions: tracing
+    /// never perturbs a run, it only observes it.
+    pub fn run_with<S: TraceSink>(mut self, sink: &mut S) -> RunReport {
         let n = self.protocols.len();
         let mut out = Outbox::new();
         let mut round: Round = 0;
+        if S::ENABLED {
+            for (i, &started) in self.started.iter().enumerate() {
+                if started {
+                    sink.record(TraceEvent::Start {
+                        member: MemberId(i as u32),
+                        round: 0,
+                    });
+                }
+            }
+        }
         loop {
             // 1. crash injection
-            let _ = self.failure.step(round);
+            let liveness = self.failure.step(round);
+            if S::ENABLED {
+                for ev in &liveness {
+                    sink.record(match *ev {
+                        LivenessEvent::Crashed(member) => TraceEvent::Crash { member, round },
+                        LivenessEvent::Recovered(member) => TraceEvent::Recover { member, round },
+                    });
+                }
+            }
 
             // 2. deliver due messages to alive members; a protocol
             //    message wakes a member that has not started yet
@@ -120,13 +151,40 @@ where
                 if !self.failure.is_alive(env.to) {
                     continue;
                 }
+                if S::ENABLED {
+                    sink.record(TraceEvent::Deliver {
+                        from: env.from,
+                        to: env.to,
+                        round,
+                        sent_at: env.sent_at,
+                    });
+                    if !self.started[to] {
+                        sink.record(TraceEvent::Start {
+                            member: env.to,
+                            round,
+                        });
+                    }
+                }
                 self.started[to] = true;
-                let mut ctx = Ctx {
-                    round,
-                    rng: &mut self.rngs[to],
-                };
-                self.protocols[to].on_message(env.from, env.payload, &mut ctx, &mut out);
-                Self::flush(&mut self.net, round, env.to, &mut out);
+                let was_done = self.protocols[to].is_done();
+                {
+                    let mut ctx = if S::ENABLED {
+                        Ctx::traced(round, &mut self.rngs[to], sink)
+                    } else {
+                        Ctx::new(round, &mut self.rngs[to])
+                    };
+                    self.protocols[to].on_message(env.from, env.payload, &mut ctx, &mut out);
+                }
+                if S::ENABLED && !was_done && self.protocols[to].is_done() {
+                    sink.record(TraceEvent::Terminate {
+                        member: env.to,
+                        round,
+                        completeness: self.protocols[to]
+                            .estimate()
+                            .map_or(0.0, |est| est.completeness(n)),
+                    });
+                }
+                Self::flush(&mut self.net, round, env.to, &mut out, sink);
             }
 
             // 3.+4. step alive, started, unfinished members
@@ -138,7 +196,12 @@ where
                 }
                 if !self.started[i] {
                     match &self.start_rounds {
-                        Some(starts) if round >= starts[i] => self.started[i] = true,
+                        Some(starts) if round >= starts[i] => {
+                            self.started[i] = true;
+                            if S::ENABLED {
+                                sink.record(TraceEvent::Start { member: me, round });
+                            }
+                        }
                         _ => {
                             all_settled = false; // still waiting to start
                             continue;
@@ -149,12 +212,24 @@ where
                     continue;
                 }
                 all_settled = false;
-                let mut ctx = Ctx {
-                    round,
-                    rng: &mut self.rngs[i],
-                };
-                self.protocols[i].on_round(&mut ctx, &mut out);
-                Self::flush(&mut self.net, round, me, &mut out);
+                {
+                    let mut ctx = if S::ENABLED {
+                        Ctx::traced(round, &mut self.rngs[i], sink)
+                    } else {
+                        Ctx::new(round, &mut self.rngs[i])
+                    };
+                    self.protocols[i].on_round(&mut ctx, &mut out);
+                }
+                if S::ENABLED && self.protocols[i].is_done() {
+                    sink.record(TraceEvent::Terminate {
+                        member: me,
+                        round,
+                        completeness: self.protocols[i]
+                            .estimate()
+                            .map_or(0.0, |est| est.completeness(n)),
+                    });
+                }
+                Self::flush(&mut self.net, round, me, &mut out, sink);
             }
 
             round += 1;
@@ -191,10 +266,33 @@ where
         }
     }
 
-    fn flush(net: &mut SimNetwork<Payload<A>>, round: Round, from: MemberId, out: &mut Outbox<A>) {
+    fn flush<S: TraceSink>(
+        net: &mut SimNetwork<Payload<A>>,
+        round: Round,
+        from: MemberId,
+        out: &mut Outbox<A>,
+        sink: &mut S,
+    ) {
         for (to, payload) in out.drain() {
             let bytes = payload.wire_size();
-            net.send(round, from, to, payload, bytes);
+            let outcome = net.send(round, from, to, payload, bytes);
+            if S::ENABLED {
+                sink.record(TraceEvent::Send {
+                    from,
+                    to,
+                    round,
+                    bytes: bytes as u64,
+                });
+                match outcome {
+                    SendOutcome::Queued { .. } => {}
+                    SendOutcome::DroppedLoss => {
+                        sink.record(TraceEvent::DropLoss { from, to, round });
+                    }
+                    SendOutcome::DroppedBandwidth => {
+                        sink.record(TraceEvent::DropBandwidth { from, to, round });
+                    }
+                }
+            }
         }
     }
 }
@@ -364,6 +462,54 @@ mod tests {
         // the sleeper finished long before its official start round
         assert!(report.rounds < 1000, "ran {} rounds", report.rounds);
         assert_eq!(report.completed(), n);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        // Tracing must observe, never perturb: same seed, same report.
+        let untraced = hier_sim(50, 9).run();
+        let mut trace = crate::trace::RunTrace::for_group(50);
+        let traced = hier_sim(50, 9).run_with(&mut trace);
+        assert_eq!(untraced.rounds, traced.rounds);
+        assert_eq!(untraced.net, traced.net);
+        assert_eq!(untraced.outcomes, traced.outcomes);
+        assert!(!trace.is_empty(), "traced run must record events");
+    }
+
+    #[test]
+    fn trace_narrates_the_run_consistently() {
+        let n = 64;
+        let mut trace = crate::trace::RunTrace::for_group(n);
+        let report = hier_sim(n, 3).run_with(&mut trace);
+
+        // network accounting and the trace agree message-for-message
+        let hist = trace.per_round_messages();
+        let sent: u64 = hist.iter().map(|h| h.sent).sum();
+        let delivered: u64 = hist.iter().map(|h| h.delivered).sum();
+        assert_eq!(sent, report.net.sent);
+        assert_eq!(delivered, report.net.delivered);
+
+        // every member started in round 0 and terminated
+        let terms = trace.terminations();
+        assert_eq!(terms.iter().filter(|t| t.is_some()).count(), n);
+
+        // phase timelines exist and are monotone in round
+        for tl in trace.phase_timelines() {
+            assert!(!tl.is_empty(), "hiergossip members change phases");
+            for w in tl.windows(2) {
+                assert!(w[0].at <= w[1].at);
+            }
+        }
+
+        // incompleteness falls from near 1 to the report's terminal value
+        let curve = trace.incompleteness_over_time();
+        assert_eq!(curve.len() as Round, report.rounds);
+        assert!(curve[0] > 0.9, "round 0: members only know themselves");
+        let last = *curve.last().unwrap();
+        assert!(
+            last <= report.mean_incompleteness() + 1e-9,
+            "curve must reach terminal incompleteness: {last}"
+        );
     }
 
     #[test]

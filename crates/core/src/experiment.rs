@@ -2,15 +2,14 @@
 //!
 //! "Each point in these plots is the average of several runs of the
 //! protocol" (§7). [`run_many`] executes a run function over seeds
-//! `base..base+runs` in parallel (crossbeam scoped threads) and
+//! `base..base+runs` in parallel (std scoped threads) and
 //! [`summarize`] folds the reports into the statistics the figures plot.
 
-use serde::Serialize;
-
+use crate::json::{Json, ToJson};
 use crate::metrics::RunReport;
 
 /// Aggregated statistics over a batch of runs at one parameter point.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of runs.
     pub runs: usize,
@@ -28,6 +27,27 @@ pub struct Summary {
     pub mean_value_error: f64,
     /// Mean fraction of members that crashed.
     pub mean_crashed: f64,
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("runs".into(), self.runs.to_json()),
+            (
+                "mean_incompleteness".into(),
+                self.mean_incompleteness.to_json(),
+            ),
+            (
+                "std_incompleteness".into(),
+                self.std_incompleteness.to_json(),
+            ),
+            ("mean_completeness".into(), self.mean_completeness.to_json()),
+            ("mean_messages".into(), self.mean_messages.to_json()),
+            ("mean_rounds".into(), self.mean_rounds.to_json()),
+            ("mean_value_error".into(), self.mean_value_error.to_json()),
+            ("mean_crashed".into(), self.mean_crashed.to_json()),
+        ])
+    }
 }
 
 /// Run `f(seed)` for `runs` seeds starting at `base_seed`, in parallel.
@@ -57,18 +77,17 @@ where
         .min(runs.max(1));
     let mut reports: Vec<Option<RunReport>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads.max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in reports.chunks_mut(chunk.max(1)).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, s) in slot.iter_mut().enumerate() {
                     let seed = base_seed + (t * chunk + i) as u64;
                     *s = Some(f(seed));
                 }
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     reports
         .into_iter()
         .map(|r| r.expect("all runs filled"))
@@ -77,11 +96,23 @@ where
 
 /// Fold a batch of reports into a [`Summary`].
 ///
-/// # Panics
-///
-/// Panics if `reports` is empty.
+/// Total over all inputs: an empty batch (or one where every member
+/// crashed or timed out) folds to the degenerate "nothing learned"
+/// summary — zero runs, incompleteness `1.0` — rather than panicking,
+/// so sweeps over catastrophic parameter points stay well-defined.
 pub fn summarize(reports: &[RunReport]) -> Summary {
-    assert!(!reports.is_empty(), "summarize needs at least one run");
+    if reports.is_empty() {
+        return Summary {
+            runs: 0,
+            mean_incompleteness: 1.0,
+            std_incompleteness: 0.0,
+            mean_completeness: 0.0,
+            mean_messages: 0.0,
+            mean_rounds: 0.0,
+            mean_value_error: 0.0,
+            mean_crashed: 0.0,
+        };
+    }
     let runs = reports.len();
     let incs: Vec<f64> = reports.iter().map(|r| r.mean_incompleteness()).collect();
     let mean_inc = incs.iter().sum::<f64>() / runs as f64;
@@ -105,7 +136,7 @@ pub fn summarize(reports: &[RunReport]) -> Summary {
 }
 
 /// A labelled series of `(x, summary)` points — one figure curve.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Curve label (e.g. `"K=4,M=2"`).
     pub label: String,
@@ -136,6 +167,15 @@ impl Series {
     }
 }
 
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), self.label.to_json()),
+            ("points".into(), self.points.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +192,24 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.net.sent, y.net.sent);
             assert_eq!(x.mean_incompleteness(), y.mean_incompleteness());
+        }
+    }
+
+    #[test]
+    fn run_many_matches_sequential_execution() {
+        // Thread count and chunking must not affect results: the
+        // parallel batch must equal a plain sequential loop over the
+        // same seeds, report by report.
+        let cfg = ExperimentConfig::default().with_n(32);
+        let parallel = run_many(5, 300, |seed| run_hiergossip::<Average>(&cfg, seed));
+        let sequential: Vec<_> = (300..305)
+            .map(|seed| run_hiergossip::<Average>(&cfg, seed))
+            .collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.rounds, s.rounds);
+            assert_eq!(p.net, s.net);
+            assert_eq!(p.outcomes, s.outcomes);
         }
     }
 
@@ -173,9 +231,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one run")]
-    fn summarize_empty_panics() {
-        let _ = summarize(&[]);
+    fn summarize_empty_is_total() {
+        let s = summarize(&[]);
+        assert_eq!(s.runs, 0);
+        assert_eq!(s.mean_incompleteness, 1.0);
+        assert_eq!(s.mean_completeness, 0.0);
+        assert!(s.mean_messages == 0.0 && s.mean_rounds == 0.0);
+    }
+
+    #[test]
+    fn summarize_total_when_every_member_crashes() {
+        // pf = 1.0: every member crashes in round 0 of every run
+        let cfg = ExperimentConfig::default().with_n(32).with_pf(1.0);
+        let reports = run_many(3, 17, |seed| run_hiergossip::<Average>(&cfg, seed));
+        for r in &reports {
+            assert_eq!(r.completed(), 0, "nobody can complete at pf=1.0");
+        }
+        let s = summarize(&reports);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.mean_crashed, 1.0);
+        assert_eq!(s.mean_completeness, 0.0);
+        assert_eq!(s.mean_incompleteness, 1.0);
+        assert!(s.mean_value_error == 0.0, "no estimates, no error");
+        assert!(
+            s.mean_rounds.is_finite() && s.mean_messages.is_finite(),
+            "summary must stay finite when all members crash"
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use gridagg_simnet::Round;
 use crate::message::Payload;
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
 use crate::scope::ScopeIndex;
+use crate::trace::TraceEvent;
 
 /// Tunable parameters of Hierarchical Gossiping.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -256,6 +257,24 @@ impl<A: Aggregate> HierGossip<A> {
         }
     }
 
+    /// Votes covered by this member's current best aggregate: what it
+    /// would report if forced to compose and terminate right now.
+    fn current_coverage(&self) -> u64 {
+        if let Some(est) = &self.estimate {
+            return est.vote_count() as u64;
+        }
+        if self.phase == 1 {
+            self.known_votes.len() as u64
+        } else {
+            // children are disjoint subtrees, so the sum is exact
+            self.children
+                .iter()
+                .filter_map(|c| self.aggs.get(c))
+                .map(|a| a.vote_count() as u64)
+                .sum()
+        }
+    }
+
     /// Close out the current phase: compose this scope's aggregate from
     /// the known components and advance.
     fn finish_phase(&mut self, round: Round) {
@@ -406,18 +425,26 @@ impl<A: Aggregate> HierGossip<A> {
 
     /// Record a received vote. Only votes of the member's own grid box
     /// belong in its phase-1 aggregate (gossip never crosses boxes in
-    /// phase 1, but guard the invariant anyway).
-    fn learn_vote(&mut self, member: MemberId, value: f64) {
+    /// phase 1, but guard the invariant anyway). Returns whether the
+    /// vote was new.
+    fn learn_vote(&mut self, member: MemberId, value: f64) -> bool {
         if self.index.box_of(member) == self.my_box && self.have_vote.insert(member.0) {
             self.known_votes.push((member, value));
+            return true;
         }
+        false
     }
 
-    /// Record a received subtree aggregate if it is relevant.
-    fn learn_agg(&mut self, subtree: Addr, agg: Tagged<A>) {
+    /// Record a received subtree aggregate if it is relevant. Returns
+    /// whether the stored state changed (new subtree, or a more complete
+    /// evaluation displacing a partial one).
+    fn learn_agg(&mut self, subtree: Addr, agg: Tagged<A>) -> bool {
         if self.relevant(&subtree) {
+            let before = self.aggs.get(&subtree).map(|a| a.vote_count());
             Self::upgrade(&mut self.aggs, subtree, agg);
+            return self.aggs.get(&subtree).map(|a| a.vote_count()) != before;
         }
+        false
     }
 
     /// Answer a push at the given level (`None` = phase-1 votes,
@@ -481,6 +508,31 @@ impl<A: Aggregate> HierGossip<A> {
             None => false, // the root aggregate is never gossiped
         }
     }
+
+    /// Narrate a phase transition that just happened: the phase entered
+    /// (unless the protocol terminated — the engine emits `Terminate`)
+    /// and the coverage carried into it. No-op on untraced runs.
+    fn emit_phase_transition(&self, ctx: &mut Ctx<'_>) {
+        if !ctx.is_traced() {
+            return;
+        }
+        let me = self.me;
+        let round = ctx.round;
+        let votes = self.current_coverage();
+        if self.done_at.is_none() {
+            let phase = self.phase;
+            ctx.emit(|| TraceEvent::PhaseEnter {
+                member: me,
+                round,
+                phase,
+            });
+        }
+        ctx.emit(|| TraceEvent::Coverage {
+            member: me,
+            round,
+            votes,
+        });
+    }
 }
 
 impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
@@ -495,7 +547,16 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
             self.cfg.early_bump
         };
         while self.done_at.is_none() && early_ok && self.phase_complete() {
+            let me = self.me;
+            let round = ctx.round;
+            let leaving = self.phase;
+            ctx.emit(|| TraceEvent::EarlyBump {
+                member: me,
+                round,
+                phase: leaving,
+            });
             self.finish_phase(ctx.round);
+            self.emit_phase_transition(ctx);
             if !self.cfg.early_bump {
                 break;
             }
@@ -507,6 +568,7 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
         self.rounds_in_phase += 1;
         if self.rounds_in_phase >= self.rounds_per_phase {
             self.finish_phase(ctx.round);
+            self.emit_phase_transition(ctx);
         }
     }
 
@@ -514,7 +576,7 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
         &mut self,
         from: MemberId,
         payload: Payload<A>,
-        _ctx: &mut Ctx<'_>,
+        ctx: &mut Ctx<'_>,
         out: &mut Outbox<A>,
     ) {
         // Is this a push we may answer? (Replies are never answered, so
@@ -534,22 +596,37 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
         // Learn the content. Terminated members keep serving replies
         // below but no longer update their (final) state.
         if self.done_at.is_none() {
-            match payload {
+            let changed = match payload {
                 Payload::Vote { member, value } => self.learn_vote(member, value),
                 Payload::VoteBatch { votes, .. } => {
+                    let mut any = false;
                     for (member, value) in votes {
-                        self.learn_vote(member, value);
+                        any |= self.learn_vote(member, value);
                     }
+                    any
                 }
                 Payload::Agg { subtree, agg } => self.learn_agg(subtree, agg),
                 Payload::AggBatch { aggs, .. } => {
+                    let mut any = false;
                     for (subtree, agg) in aggs {
-                        self.learn_agg(subtree, agg);
+                        any |= self.learn_agg(subtree, agg);
                     }
+                    any
                 }
                 Payload::Final { .. } => {
                     // Hierarchical gossip never emits Final; ignore.
+                    false
                 }
+            };
+            if changed && ctx.is_traced() {
+                let me = self.me;
+                let round = ctx.round;
+                let votes = self.current_coverage();
+                ctx.emit(|| TraceEvent::Coverage {
+                    member: me,
+                    round,
+                    votes,
+                });
             }
         }
 
@@ -634,10 +711,7 @@ mod tests {
         let mut out = Outbox::new();
         let mut round = 0;
         while !p.is_done() && round < 10_000 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
             round += 1;
         }
@@ -658,10 +732,7 @@ mod tests {
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
         for round in 0..3 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
         }
         for (to, payload) in out.drain() {
@@ -687,10 +758,7 @@ mod tests {
             HierGossip::new(me, 1.0, idx.clone(), HierGossipConfig::default());
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         let v = Payload::Vote {
             member: mate,
             value: 9.0,
@@ -712,10 +780,7 @@ mod tests {
         let mut p: HierGossip<Average> = HierGossip::new(me, 1.0, idx, HierGossipConfig::default());
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         p.on_message(
             stranger,
             Payload::Vote {
@@ -745,10 +810,7 @@ mod tests {
         let mut p: HierGossip<Average> = HierGossip::new(me, 1.0, idx, HierGossipConfig::default());
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         p.on_message(
             MemberId(1),
             Payload::Agg {
@@ -784,10 +846,7 @@ mod tests {
         // fill in my box votes
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         for &m in idx.members_in(&my_box) {
             if m != me {
                 p.on_message(
@@ -818,10 +877,7 @@ mod tests {
                 &mut out,
             );
         }
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         p.on_round(&mut ctx, &mut out);
         assert!(p.is_done(), "early bump should cascade to completion");
         assert_eq!(p.estimate().unwrap().vote_count(), 4);
@@ -838,10 +894,7 @@ mod tests {
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
         for round in 0..3 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
         }
         for (_, payload) in out.drain() {
@@ -859,10 +912,7 @@ mod tests {
             HierGossip::new(MemberId(0), 1.0, idx, HierGossipConfig::default());
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         p.on_round(&mut ctx, &mut out);
         for (_, payload) in out.drain() {
             match payload {
@@ -889,10 +939,7 @@ mod tests {
         // teach p a second vote so it knows strictly more than the push
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         p.on_message(
             mate,
             Payload::Vote {
@@ -938,10 +985,7 @@ mod tests {
         let mut p: HierGossip<Average> = HierGossip::new(me, 1.0, idx, HierGossipConfig::default());
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
-        let mut ctx = Ctx {
-            round: 0,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(0, &mut rng);
         // a reply carrying *less* than we know must not trigger another
         // reply (termination of exchanges)
         p.on_message(
@@ -968,10 +1012,7 @@ mod tests {
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
         for round in 0..10 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
             out.drain().for_each(drop);
         }
@@ -984,10 +1025,7 @@ mod tests {
             .copied()
             .find(|&m| m != me);
         if let Some(mate) = mate {
-            let mut ctx = Ctx {
-                round: 11,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(11, &mut rng);
             p.on_message(
                 mate,
                 Payload::VoteBatch {
@@ -1021,10 +1059,7 @@ mod tests {
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
         for round in 0..4 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
             for (to, _) in out.drain() {
                 assert_eq!(to, allowed, "gossip must stay inside the view");
@@ -1045,10 +1080,7 @@ mod tests {
         let mut out = Outbox::new();
         let mut round = 0;
         while !p.is_done() && round < 1000 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
             out.drain().for_each(drop);
             round += 1;
@@ -1076,18 +1108,12 @@ mod tests {
         let mut rng = ctx_rng();
         let mut out = Outbox::new();
         for round in 0..10 {
-            let mut ctx = Ctx {
-                round,
-                rng: &mut rng,
-            };
+            let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);
         }
         assert!(p.is_done());
         let before = p.estimate().unwrap().vote_count();
-        let mut ctx = Ctx {
-            round: 11,
-            rng: &mut rng,
-        };
+        let mut ctx = Ctx::new(11, &mut rng);
         p.on_message(
             MemberId(1),
             Payload::Vote {

@@ -43,12 +43,14 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod hiergossip;
+pub mod json;
 pub mod message;
 pub mod metrics;
 pub mod periodic;
 pub mod protocol;
 pub mod runner;
 pub mod scope;
+pub mod trace;
 
 pub use config::ExperimentConfig;
 pub use engine::Simulation;
@@ -58,3 +60,4 @@ pub use message::Payload;
 pub use metrics::{MemberOutcome, RunReport};
 pub use protocol::{AggregationProtocol, Ctx, Outbox};
 pub use scope::ScopeIndex;
+pub use trace::{NoTrace, RunTrace, TraceEvent, TraceSink};

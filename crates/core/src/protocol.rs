@@ -15,6 +15,7 @@ use gridagg_simnet::rng::DetRng;
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
+use crate::trace::{DynSink, TraceEvent};
 
 /// Messages a member wants to send this round.
 #[derive(Debug)]
@@ -66,12 +67,58 @@ impl<A> Default for Outbox<A> {
 }
 
 /// Per-call context handed to the protocol by the engine.
-#[derive(Debug)]
 pub struct Ctx<'a> {
     /// The current gossip round.
     pub round: Round,
     /// This member's private random stream.
     pub rng: &'a mut DetRng,
+    /// Trace sink, installed by the engine only when tracing is on.
+    /// `None` on the untraced path, so [`Ctx::emit`]'s event-building
+    /// closure is never even called there.
+    trace: Option<&'a mut dyn DynSink>,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("round", &self.round)
+            .field("traced", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Ctx<'a> {
+    /// An untraced context (the default path).
+    pub fn new(round: Round, rng: &'a mut DetRng) -> Self {
+        Ctx {
+            round,
+            rng,
+            trace: None,
+        }
+    }
+
+    /// A context that forwards protocol-level events to `sink`.
+    pub fn traced(round: Round, rng: &'a mut DetRng, sink: &'a mut dyn DynSink) -> Self {
+        Ctx {
+            round,
+            rng,
+            trace: Some(sink),
+        }
+    }
+
+    /// Emit a trace event. The closure runs only when a sink is
+    /// installed, so untraced runs pay one branch and build nothing.
+    #[inline]
+    pub fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record_dyn(event());
+        }
+    }
+
+    /// Whether this context forwards events anywhere.
+    pub fn is_traced(&self) -> bool {
+        self.trace.is_some()
+    }
 }
 
 /// A one-shot aggregation protocol instance at one group member.

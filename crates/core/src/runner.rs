@@ -26,6 +26,7 @@ use crate::engine::Simulation;
 use crate::hiergossip::HierGossip;
 use crate::metrics::RunReport;
 use crate::scope::ScopeIndex;
+use crate::trace::RunTrace;
 
 /// Build the group for a config (positions included when the config
 /// needs topology awareness).
@@ -110,6 +111,30 @@ fn truth<A: Aggregate>(group: &Group) -> f64 {
 ///
 /// Panics if `cfg` fails [`ExperimentConfig::validate`].
 pub fn run_hiergossip<A: WireAggregate>(cfg: &ExperimentConfig, seed: u64) -> RunReport {
+    build_hiergossip_sim::<A>(cfg, seed).run()
+}
+
+/// Run hierarchical gossip once with an in-memory [`RunTrace`] recorder
+/// attached, returning both the report and the collected trace. The
+/// report is identical to what [`run_hiergossip`] returns for the same
+/// `(cfg, seed)` — tracing observes the run without perturbing it.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails [`ExperimentConfig::validate`].
+pub fn run_hiergossip_traced<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> (RunReport, RunTrace) {
+    let mut trace = RunTrace::for_group(cfg.n);
+    let report = build_hiergossip_sim::<A>(cfg, seed).run_with(&mut trace);
+    (report, trace)
+}
+
+fn build_hiergossip_sim<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Simulation<A, HierGossip<A>> {
     cfg.validate().expect("invalid experiment config");
     let group = build_group_for(cfg, seed);
     let index = build_index(cfg, &group, seed);
@@ -144,7 +169,7 @@ pub fn run_hiergossip<A: WireAggregate>(cfg: &ExperimentConfig, seed: u64) -> Ru
             .collect();
         sim = sim.with_start_rounds(starts);
     }
-    sim.run()
+    sim
 }
 
 /// Run the §4 fully distributed (flood) baseline once.
@@ -382,6 +407,18 @@ mod tests {
         assert_eq!(a.mean_completeness(), b.mean_completeness());
         assert_eq!(a.net.sent, b.net.sent);
         assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn traced_runner_matches_plain_runner() {
+        let cfg = ExperimentConfig::default().with_n(48);
+        let plain = run_hiergossip::<Average>(&cfg, 7);
+        let (traced, trace) = run_hiergossip_traced::<Average>(&cfg, 7);
+        assert_eq!(plain.rounds, traced.rounds);
+        assert_eq!(plain.net, traced.net);
+        assert_eq!(plain.outcomes, traced.outcomes);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.group_size(), 48);
     }
 
     #[test]

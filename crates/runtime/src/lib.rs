@@ -1,7 +1,7 @@
 //! # gridagg-runtime
 //!
 //! A **real-network runtime** for the Hierarchical Gossiping protocol:
-//! every group member is a tokio task with its own UDP socket, gossip
+//! every group member is a thread with its own UDP socket, gossip
 //! rounds are wall-clock timer ticks, and messages are the binary wire
 //! form from `gridagg_core::message::codec` — no simulator in the loop.
 //!
@@ -19,7 +19,7 @@
 //! use gridagg_hierarchy::{FairHashPlacement, Hierarchy};
 //! use gridagg_aggregate::{Aggregate, Average};
 //!
-//! # async fn demo() -> std::io::Result<()> {
+//! # fn demo() -> std::io::Result<()> {
 //! let n = 32;
 //! let h = Hierarchy::for_group(4, n).unwrap();
 //! let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 1));
@@ -29,8 +29,7 @@
 //!     index,
 //!     HierGossipConfig::default(),
 //!     RuntimeConfig::default(),
-//! )
-//! .await?;
+//! )?;
 //! assert_eq!(outcomes.len(), 32);
 //! # Ok(())
 //! # }
@@ -39,12 +38,10 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
-use std::sync::Arc;
-use std::time::Duration;
-
-use tokio::net::UdpSocket;
-use tokio::sync::{mpsc, watch};
-use tokio::time::MissedTickBehavior;
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use gridagg_aggregate::wire::WireAggregate;
 use gridagg_aggregate::Tagged;
@@ -109,7 +106,8 @@ impl<A: WireAggregate> MemberOutcome<A> {
 
 /// Run a whole group over localhost UDP and collect every member's
 /// outcome. Sockets are bound to ephemeral ports up front, so parallel
-/// runs (e.g. concurrent tests) never collide.
+/// runs (e.g. concurrent tests) never collide. Blocks until every
+/// member has reported (bounded by `max_rounds` ticks).
 ///
 /// # Errors
 ///
@@ -118,7 +116,7 @@ impl<A: WireAggregate> MemberOutcome<A> {
 /// # Panics
 ///
 /// Panics if `votes.len()` does not match the index population.
-pub async fn run_group<A: WireAggregate>(
+pub fn run_group<A: WireAggregate + Send + 'static>(
     votes: Vec<f64>,
     index: Arc<ScopeIndex>,
     proto_cfg: HierGossipConfig,
@@ -131,16 +129,17 @@ pub async fn run_group<A: WireAggregate>(
     let mut sockets = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
     for _ in 0..n {
-        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
         addrs.push(socket.local_addr()?);
         sockets.push(socket);
     }
     let addrs = Arc::new(addrs);
 
-    let (done_tx, mut done_rx) = mpsc::channel::<MemberOutcome<A>>(n);
-    let (shutdown_tx, shutdown_rx) = watch::channel(false);
+    let (done_tx, done_rx) = mpsc::channel::<MemberOutcome<A>>();
+    let shutdown = Arc::new(AtomicBool::new(false));
 
     let root_rng = DetRng::seeded(rt_cfg.seed);
+    let mut handles = Vec::with_capacity(n);
     for (i, socket) in sockets.into_iter().enumerate() {
         let me = MemberId(i as u32);
         let proto = HierGossip::<A>::new(me, votes[i], index.clone(), proto_cfg);
@@ -152,21 +151,24 @@ pub async fn run_group<A: WireAggregate>(
             rng: root_rng.fork(0x7275_6E00 ^ i as u64), // "run"
             cfg: rt_cfg,
             done: done_tx.clone(),
-            shutdown: shutdown_rx.clone(),
+            shutdown: shutdown.clone(),
         };
-        tokio::spawn(task.run());
+        handles.push(std::thread::spawn(move || task.run()));
     }
     drop(done_tx);
 
     // Collect one outcome per member, then release the lingerers.
     let mut outcomes = Vec::with_capacity(n);
-    while let Some(o) = done_rx.recv().await {
-        outcomes.push(o);
-        if outcomes.len() == n {
-            break;
+    while outcomes.len() < n {
+        match done_rx.recv() {
+            Ok(o) => outcomes.push(o),
+            Err(_) => break, // all senders gone (shouldn't happen)
         }
     }
-    let _ = shutdown_tx.send(true);
+    shutdown.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
     outcomes.sort_by_key(|o| o.member);
     Ok(outcomes)
 }
@@ -179,52 +181,61 @@ struct MemberTask<A> {
     rng: DetRng,
     cfg: RuntimeConfig,
     done: mpsc::Sender<MemberOutcome<A>>,
-    shutdown: watch::Receiver<bool>,
+    shutdown: Arc<AtomicBool>,
 }
 
 impl<A: WireAggregate> MemberTask<A> {
-    async fn run(mut self) {
-        let mut ticker = tokio::time::interval(self.cfg.round_interval);
-        ticker.set_missed_tick_behavior(MissedTickBehavior::Delay);
+    fn run(mut self) {
+        let interval = self.cfg.round_interval.max(Duration::from_micros(200));
         let mut out = Outbox::new();
         let mut buf = vec![0u8; 64 * 1024];
         let mut round: u64 = 0;
         let mut reported = false;
         let mut linger_left = self.cfg.linger_rounds;
+        let mut next_tick = Instant::now() + interval;
 
         loop {
-            tokio::select! {
-                _ = ticker.tick() => {
-                    if !self.proto.is_done() && round < self.cfg.max_rounds {
-                        let mut ctx = Ctx { round, rng: &mut self.rng };
-                        self.proto.on_round(&mut ctx, &mut out);
-                        self.flush(&mut out).await;
-                    }
-                    round += 1;
-                    let finished = self.proto.is_done() || round >= self.cfg.max_rounds;
-                    if finished && !reported {
-                        reported = true;
-                        let outcome = MemberOutcome {
-                            member: self.me,
-                            estimate: self.proto.estimate().cloned(),
-                            rounds: round,
-                        };
-                        let _ = self.done.send(outcome).await;
-                    }
-                    if reported {
-                        // linger to answer stragglers, then leave once
-                        // the coordinator signals or patience runs out
-                        if *self.shutdown.borrow() {
-                            return;
-                        }
-                        if linger_left == 0 {
-                            return;
-                        }
-                        linger_left -= 1;
-                    }
+            // Round ticks on wall-clock boundaries; like a timer with
+            // "delay" missed-tick behaviour, a late tick reschedules
+            // from now rather than bursting to catch up.
+            if Instant::now() >= next_tick {
+                next_tick = Instant::now() + interval;
+                if !self.proto.is_done() && round < self.cfg.max_rounds {
+                    let mut ctx = Ctx::new(round, &mut self.rng);
+                    self.proto.on_round(&mut ctx, &mut out);
+                    self.flush(&mut out);
                 }
-                recv = self.socket.recv_from(&mut buf) => {
-                    let Ok((len, from_addr)) = recv else { continue };
+                round += 1;
+                let finished = self.proto.is_done() || round >= self.cfg.max_rounds;
+                if finished && !reported {
+                    reported = true;
+                    let outcome = MemberOutcome {
+                        member: self.me,
+                        estimate: self.proto.estimate().cloned(),
+                        rounds: round,
+                    };
+                    let _ = self.done.send(outcome);
+                }
+                if reported {
+                    // linger to answer stragglers, then leave once the
+                    // coordinator signals or patience runs out
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if linger_left == 0 {
+                        return;
+                    }
+                    linger_left -= 1;
+                }
+            }
+
+            // Receive until the next tick is due.
+            let wait = next_tick
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100));
+            let _ = self.socket.set_read_timeout(Some(wait));
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, from_addr)) => {
                     let Some(from) = self.addrs.iter().position(|a| *a == from_addr) else {
                         continue; // not a group member
                     };
@@ -232,21 +243,20 @@ impl<A: WireAggregate> MemberTask<A> {
                     let Ok(payload) = codec::decode::<A, _>(&mut slice) else {
                         continue; // junk datagram
                     };
-                    let mut ctx = Ctx { round, rng: &mut self.rng };
+                    let mut ctx = Ctx::new(round, &mut self.rng);
                     self.proto
                         .on_message(MemberId(from as u32), payload, &mut ctx, &mut out);
-                    self.flush(&mut out).await;
+                    self.flush(&mut out);
                 }
-                _ = self.shutdown.changed() => {
-                    if *self.shutdown.borrow() && reported {
-                        return;
-                    }
+                Err(_) => {
+                    // timeout (fall through to the tick check) or a
+                    // transient socket error — either way, keep going
                 }
             }
         }
     }
 
-    async fn flush(&mut self, out: &mut Outbox<A>) {
+    fn flush(&mut self, out: &mut Outbox<A>) {
         let msgs: Vec<(MemberId, gridagg_core::Payload<A>)> = out.drain().collect();
         for (to, payload) in msgs {
             if self.cfg.inject_loss > 0.0 && self.rng.chance(self.cfg.inject_loss) {
@@ -254,7 +264,7 @@ impl<A: WireAggregate> MemberTask<A> {
             }
             let mut wire = Vec::with_capacity(128);
             codec::encode(&payload, &mut wire);
-            let _ = self.socket.send_to(&wire, self.addrs[to.index()]).await;
+            let _ = self.socket.send_to(&wire, self.addrs[to.index()]);
         }
     }
 }
@@ -271,8 +281,8 @@ mod tests {
         ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 9))
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn udp_group_converges_on_loopback() {
+    #[test]
+    fn udp_group_converges_on_loopback() {
         let n = 24;
         let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let truth = (n as f64 - 1.0) / 2.0;
@@ -282,7 +292,6 @@ mod tests {
             HierGossipConfig::default(),
             RuntimeConfig::default(),
         )
-        .await
         .expect("run");
         assert_eq!(outcomes.len(), n);
         let mean_completeness: f64 =
@@ -300,17 +309,16 @@ mod tests {
         }
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
-    async fn udp_group_tolerates_injected_loss() {
+    #[test]
+    fn udp_group_tolerates_injected_loss() {
         let n = 24;
         let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let cfg = RuntimeConfig {
             inject_loss: 0.25,
             ..Default::default()
         };
-        let outcomes = run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg)
-            .await
-            .expect("run");
+        let outcomes =
+            run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg).expect("run");
         let mean_completeness: f64 =
             outcomes.iter().map(|o| o.completeness(n)).sum::<f64>() / n as f64;
         assert!(
@@ -319,21 +327,23 @@ mod tests {
         );
     }
 
-    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
-    async fn concurrent_groups_do_not_collide() {
+    #[test]
+    fn concurrent_groups_do_not_collide() {
         // ephemeral ports mean two groups can run side by side
-        let run = |seed: u64| async move {
+        let run = |seed: u64| {
             let n = 8;
             let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let cfg = RuntimeConfig {
                 seed,
                 ..Default::default()
             };
-            run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg)
-                .await
-                .expect("run")
+            run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg).expect("run")
         };
-        let (a, b) = tokio::join!(run(1), run(2));
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| run(1));
+            let tb = s.spawn(|| run(2));
+            (ta.join().expect("a"), tb.join().expect("b"))
+        });
         assert_eq!(a.len(), 8);
         assert_eq!(b.len(), 8);
     }

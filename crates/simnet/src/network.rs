@@ -27,6 +27,25 @@ pub struct Envelope<P> {
     pub payload: P,
 }
 
+/// What happened to one [`SimNetwork::send`] call.
+///
+/// Returned so callers (e.g. a tracing simulation engine) can observe
+/// per-message fates without the network knowing about trace sinks.
+/// Plain senders simply ignore the return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// The message survived loss and bandwidth checks and is queued for
+    /// delivery at the given round.
+    Queued {
+        /// Round the message will be delivered in.
+        at: Round,
+    },
+    /// Dropped by the per-node, per-round bandwidth cap.
+    DroppedBandwidth,
+    /// Dropped by the loss model.
+    DroppedLoss,
+}
+
 /// Static configuration of a [`SimNetwork`].
 ///
 /// Built with a non-consuming builder per Rust API conventions:
@@ -136,7 +155,15 @@ impl<P> SimNetwork<P> {
     /// Submit a message in `round`; it is delivered (or not) in a later
     /// round according to the loss, bandwidth, and delay models.
     /// `wire_bytes` is the serialized size used for byte accounting.
-    pub fn send(&mut self, round: Round, from: NodeId, to: NodeId, payload: P, wire_bytes: u32) {
+    /// Returns the message's fate; plain senders may ignore it.
+    pub fn send(
+        &mut self,
+        round: Round,
+        from: NodeId,
+        to: NodeId,
+        payload: P,
+        wire_bytes: u32,
+    ) -> SendOutcome {
         self.stats.sent += 1;
         self.stats.bytes_sent += wire_bytes as u64;
 
@@ -159,25 +186,27 @@ impl<P> SimNetwork<P> {
             }
             if self.sends_this_round[idx] >= cap {
                 self.stats.dropped_bandwidth += 1;
-                return;
+                return SendOutcome::DroppedBandwidth;
             }
             self.sends_this_round[idx] += 1;
         }
 
         if self.cfg.loss.dropped(from, to, round, &mut self.rng) {
             self.stats.dropped_loss += 1;
-            return;
+            return SendOutcome::DroppedLoss;
         }
 
         let delay = self.cfg.delay.delay(&mut self.rng).max(1);
         self.stats.delivered += 1;
         self.stats.bytes_delivered += wire_bytes as u64;
-        self.queue.entry(round + delay).or_default().push(Envelope {
+        let at = round + delay;
+        self.queue.entry(at).or_default().push(Envelope {
             from,
             to,
             sent_at: round,
             payload,
         });
+        SendOutcome::Queued { at }
     }
 
     /// Collect every message due at or before `round`. Call once per round
@@ -292,6 +321,28 @@ mod tests {
         net.send(0, NodeId(0), NodeId(1), 1, 8);
         assert!(net.drain(2).is_empty());
         assert_eq!(net.drain(3).len(), 1);
+    }
+
+    #[test]
+    fn send_reports_outcome() {
+        let mut net = perfect_net();
+        assert_eq!(
+            net.send(0, NodeId(0), NodeId(1), 1, 8),
+            SendOutcome::Queued { at: 1 }
+        );
+        let lossy = NetworkConfig::default().with_loss(UniformLoss::new(1.0).unwrap());
+        let mut net: SimNetwork<u32> = SimNetwork::new(lossy, 7);
+        assert_eq!(
+            net.send(0, NodeId(0), NodeId(1), 1, 8),
+            SendOutcome::DroppedLoss
+        );
+        let capped = NetworkConfig::default().with_bandwidth_cap(1);
+        let mut net: SimNetwork<u32> = SimNetwork::new(capped, 7);
+        net.send(0, NodeId(0), NodeId(1), 1, 8);
+        assert_eq!(
+            net.send(0, NodeId(0), NodeId(1), 2, 8),
+            SendOutcome::DroppedBandwidth
+        );
     }
 
     #[test]

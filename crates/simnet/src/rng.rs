@@ -7,8 +7,68 @@
 //! schedule. This keeps runs exactly reproducible and makes experiments
 //! (which average over seeds `base..base+runs`) directly comparable.
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+/// The xoshiro256++ generator backing [`DetRng`].
+///
+/// This is the same algorithm `rand 0.8`'s `SmallRng` uses on 64-bit
+/// targets, implemented in-repo so the simulator has no external
+/// dependencies. [`Xoshiro256PlusPlus::seed_from_u64`] reproduces
+/// `rand_core`'s PCG32-based seeding exactly, so historical run seeds
+/// keep producing the same streams. Not cryptographic — appropriate for
+/// simulation only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed from raw state words. All-zero state is forbidden by the
+    /// algorithm; it is mapped to a fixed non-zero state.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            // any fixed non-zero state keeps the generator well-defined
+            return Xoshiro256PlusPlus::seed_from_u64(0);
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// Derive the full 256-bit state from a 64-bit seed using the PCG32
+    /// stream `rand_core 0.6` uses for `seed_from_u64` (kept
+    /// bit-compatible so existing experiment seeds are stable).
+    pub fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        let mut s = [0u64; 4];
+        for (word, bytes) in s.iter_mut().zip(seed.chunks(8)) {
+            *word = u64::from_le_bytes(bytes.try_into().expect("8-byte chunk"));
+        }
+        Xoshiro256PlusPlus::from_state(s)
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// SplitMix64 step: a high-quality 64-bit mixing function.
 ///
@@ -34,7 +94,7 @@ pub fn unit_interval(hash: u64) -> f64 {
 
 /// A deterministic random number generator with cheap stream forking.
 ///
-/// Wraps [`SmallRng`] (xoshiro-class, not cryptographic — appropriate for
+/// Wraps [`Xoshiro256PlusPlus`] (not cryptographic — appropriate for
 /// simulation). `fork(label)` derives an independent stream from the
 /// current seed and a label, so subsystems cannot perturb each other.
 ///
@@ -50,7 +110,7 @@ pub fn unit_interval(hash: u64) -> f64 {
 #[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    inner: Xoshiro256PlusPlus,
 }
 
 impl DetRng {
@@ -58,7 +118,7 @@ impl DetRng {
     pub fn seeded(seed: u64) -> Self {
         DetRng {
             seed,
-            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+            inner: Xoshiro256PlusPlus::seed_from_u64(splitmix64(seed)),
         }
     }
 
@@ -152,8 +212,8 @@ impl DetRng {
         pool
     }
 
-    /// Access the raw [`RngCore`] for interop with the `rand` ecosystem.
-    pub fn raw(&mut self) -> &mut impl RngCore {
+    /// Access the raw generator for direct 64-bit draws.
+    pub fn raw(&mut self) -> &mut Xoshiro256PlusPlus {
         &mut self.inner
     }
 }

@@ -1,10 +1,10 @@
 //! Real network, real sockets: the same protocol state machine that the
-//! simulator evaluates, running as 64 tokio tasks gossiping over
-//! localhost UDP with 20% injected message loss.
+//! simulator evaluates, running as 64 threads gossiping over localhost
+//! UDP with 20% injected message loss.
 //!
 //! This is the deployment shape of the paper's system: each member is
-//! an independent process/task with only a socket, the well-known hash,
-//! and an approximate `N` — nothing else is shared.
+//! an independent process/thread with only a socket, the well-known
+//! hash, and an approximate `N` — nothing else is shared.
 //!
 //! Run with: `cargo run --release --example real_network`
 
@@ -16,54 +16,46 @@ use gridagg::prelude::*;
 use gridagg_runtime::{run_group, RuntimeConfig};
 
 fn main() -> std::io::Result<()> {
-    let runtime = tokio::runtime::Builder::new_multi_thread()
-        .worker_threads(4)
-        .enable_all()
-        .build()?;
-    runtime.block_on(async {
-        let n = 64;
-        let hierarchy = Hierarchy::for_group(4, n).unwrap();
-        let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(hierarchy, 2001));
-        // sensor readings around 70°
-        let votes: Vec<f64> = (0..n)
-            .map(|i| 70.0 + ((i * 37) % 11) as f64 - 5.0)
-            .collect();
-        let truth = votes.iter().sum::<f64>() / n as f64;
+    let n = 64;
+    let hierarchy = Hierarchy::for_group(4, n).unwrap();
+    let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(hierarchy, 2001));
+    // sensor readings around 70°
+    let votes: Vec<f64> = (0..n)
+        .map(|i| 70.0 + ((i * 37) % 11) as f64 - 5.0)
+        .collect();
+    let truth = votes.iter().sum::<f64>() / n as f64;
 
-        println!("{n} members on localhost UDP, 20% injected loss, 5ms rounds\n");
-        let started = Instant::now();
-        let outcomes = run_group::<Average>(
-            votes,
-            index,
-            HierGossipConfig::default(),
-            RuntimeConfig {
-                inject_loss: 0.20,
-                ..Default::default()
-            },
-        )
-        .await?;
-        let elapsed = started.elapsed();
+    println!("{n} members on localhost UDP, 20% injected loss, 5ms rounds\n");
+    let started = Instant::now();
+    let outcomes = run_group::<Average>(
+        votes,
+        index,
+        HierGossipConfig::default(),
+        RuntimeConfig {
+            inject_loss: 0.20,
+            ..Default::default()
+        },
+    )?;
+    let elapsed = started.elapsed();
 
-        let finished = outcomes.iter().filter(|o| o.estimate.is_some()).count();
-        let mean_completeness: f64 =
-            outcomes.iter().map(|o| o.completeness(n)).sum::<f64>() / n as f64;
-        let sample = outcomes
-            .iter()
-            .find_map(|o| o.estimate.as_ref())
-            .map(|e| e.aggregate().map_or(f64::NAN, |a| a.summary()))
-            .unwrap_or(f64::NAN);
-        let max_rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
+    let finished = outcomes.iter().filter(|o| o.estimate.is_some()).count();
+    let mean_completeness: f64 = outcomes.iter().map(|o| o.completeness(n)).sum::<f64>() / n as f64;
+    let sample = outcomes
+        .iter()
+        .find_map(|o| o.estimate.as_ref())
+        .map(|e| e.aggregate().map_or(f64::NAN, |a| a.summary()))
+        .unwrap_or(f64::NAN);
+    let max_rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
 
-        println!("finished members    : {finished}/{n}");
-        println!("mean completeness   : {mean_completeness:.4}");
-        println!("true average        : {truth:.4}");
-        println!("sample estimate     : {sample:.4}");
-        println!("slowest member      : {max_rounds} rounds");
-        println!("wall clock          : {elapsed:?}");
-        println!(
-            "\nthe exact state machine the simulator benchmarks — `HierGossip` —\n\
-             just aggregated a real group over real sockets."
-        );
-        Ok(())
-    })
+    println!("finished members    : {finished}/{n}");
+    println!("mean completeness   : {mean_completeness:.4}");
+    println!("true average        : {truth:.4}");
+    println!("sample estimate     : {sample:.4}");
+    println!("slowest member      : {max_rounds} rounds");
+    println!("wall clock          : {elapsed:?}");
+    println!(
+        "\nthe exact state machine the simulator benchmarks — `HierGossip` —\n\
+         just aggregated a real group over real sockets."
+    );
+    Ok(())
 }
