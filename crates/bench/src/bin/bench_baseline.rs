@@ -1,0 +1,307 @@
+//! Deterministic benchmark baseline for the five protocols.
+//!
+//! Times a single simulated run of each protocol at N ∈ {256, 1024,
+//! 4096} and records, next to the (machine-dependent) wall-clock mean,
+//! the **deterministic proxy counters** that make the result comparable
+//! across machines: messages sent, bytes encoded on the wire, peak
+//! in-flight envelopes, deliveries, rounds, and the heap-allocation
+//! count of one run (measured with a counting global allocator).
+//!
+//! The proxies are pure functions of `(protocol, N, seed)`, so any
+//! change in them is a behavior or efficiency change, never noise —
+//! which is what lets CI gate on them with a 0% tolerance while
+//! treating wall-clock as informational.
+//!
+//! Usage:
+//!
+//! * `bench_baseline` — measure and write `results/BENCH_protocols.json`
+//!   (`GRIDAGG_OUT` overrides the directory; `GRIDAGG_RUNS` caps timed
+//!   iterations per cell, so `GRIDAGG_RUNS=2` keeps a CI smoke run
+//!   cheap; `GRIDAGG_SEED` sets the seed).
+//! * `bench_baseline --check <path>` — additionally compare the
+//!   deterministic counters against a committed baseline JSON and exit
+//!   non-zero if `messages_sent` or `bytes_sent` increased for any
+//!   cell.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gridagg_aggregate::Average;
+use gridagg_bench::{base_seed, bench_budget_ms, print_table, runs, time_mean, write_json};
+use gridagg_core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
+use gridagg_core::config::ExperimentConfig;
+use gridagg_core::json::{Json, ToJson};
+use gridagg_core::runner::{
+    run_centralized, run_flatgossip, run_flood, run_hiergossip, run_leader_election,
+};
+use gridagg_core::RunReport;
+
+/// Counts every allocation (and reallocation) on top of the system
+/// allocator. The count is a deterministic proxy for hot-path churn:
+/// two binaries built from the same tree report the same number for the
+/// same `(protocol, N, seed)` cell.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// One `(protocol, N)` measurement.
+struct Cell {
+    protocol: &'static str,
+    n: usize,
+    seed: u64,
+    /// Mean wall-clock seconds per run (machine-dependent).
+    wall_secs_mean: f64,
+    /// Timed iterations behind the mean (capped by `GRIDAGG_RUNS`).
+    timed_iters: u32,
+    // Deterministic proxies, exact for (protocol, n, seed):
+    rounds: u64,
+    messages_sent: u64,
+    bytes_sent: u64,
+    peak_in_flight: u64,
+    delivered: u64,
+    allocs_single_run: u64,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("protocol".into(), Json::Str(self.protocol.into())),
+            ("n".into(), Json::Num(self.n as f64)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("wall_secs_mean".into(), Json::Num(self.wall_secs_mean)),
+            ("timed_iters".into(), Json::Num(f64::from(self.timed_iters))),
+            ("rounds".into(), Json::Num(self.rounds as f64)),
+            ("messages_sent".into(), Json::Num(self.messages_sent as f64)),
+            ("bytes_sent".into(), Json::Num(self.bytes_sent as f64)),
+            (
+                "peak_in_flight".into(),
+                Json::Num(self.peak_in_flight as f64),
+            ),
+            ("delivered".into(), Json::Num(self.delivered as f64)),
+            (
+                "allocs_single_run".into(),
+                Json::Num(self.allocs_single_run as f64),
+            ),
+        ])
+    }
+}
+
+struct Baseline {
+    cells: Vec<Cell>,
+}
+
+impl ToJson for Baseline {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::Str("gridagg-bench-baseline-v1".into()),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn measure(protocol: &'static str, n: usize, seed: u64, run: impl Fn() -> RunReport) -> Cell {
+    // One instrumented run yields the deterministic proxies and the
+    // allocation count; only then is the wall clock sampled.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = run();
+    let allocs_single_run = ALLOCS.load(Ordering::Relaxed) - before;
+    let (per, timed_iters) = time_mean(bench_budget_ms(), runs() as u32, || {
+        std::hint::black_box(run());
+    });
+    Cell {
+        protocol,
+        n,
+        seed,
+        wall_secs_mean: per.as_secs_f64(),
+        timed_iters,
+        rounds: report.rounds,
+        messages_sent: report.net.sent,
+        bytes_sent: report.net.bytes_sent,
+        peak_in_flight: report.net.peak_in_flight,
+        delivered: report.net.delivered,
+        allocs_single_run,
+    }
+}
+
+fn measure_all(seed: u64) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for n in SIZES {
+        let cfg = ExperimentConfig::paper_defaults().with_n(n);
+        cfg.validate().expect("paper defaults are valid");
+        eprintln!("measuring N={n} ...");
+        cells.push(measure("hiergossip", n, seed, || {
+            run_hiergossip::<Average>(&cfg, seed)
+        }));
+        cells.push(measure("flatgossip", n, seed, || {
+            run_flatgossip::<Average>(&cfg, seed)
+        }));
+        cells.push(measure("flood", n, seed, || {
+            run_flood::<Average>(&cfg, FloodConfig::default(), seed)
+        }));
+        cells.push(measure("centralized", n, seed, || {
+            run_centralized::<Average>(&cfg, CentralizedConfig::for_group(n), seed)
+        }));
+        cells.push(measure("leader", n, seed, || {
+            run_leader_election::<Average>(&cfg, LeaderElectionConfig::default(), seed)
+        }));
+    }
+    cells
+}
+
+fn millis(secs: f64) -> String {
+    format!("{:.3}ms", secs * 1e3)
+}
+
+fn report_table(cells: &[Cell]) {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.protocol.to_string(),
+                c.n.to_string(),
+                millis(c.wall_secs_mean),
+                c.timed_iters.to_string(),
+                c.rounds.to_string(),
+                c.messages_sent.to_string(),
+                c.bytes_sent.to_string(),
+                c.peak_in_flight.to_string(),
+                c.allocs_single_run.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Protocol baseline (wall-clock is machine-dependent; the rest is deterministic)",
+        &[
+            "protocol",
+            "N",
+            "wall/run",
+            "iters",
+            "rounds",
+            "msgs sent",
+            "bytes sent",
+            "peak in-flight",
+            "allocs/run",
+        ],
+        &rows,
+    );
+}
+
+/// Compare `cells` against a committed baseline file. Returns the
+/// number of regressions: a cell whose `messages_sent` or `bytes_sent`
+/// *increased* over the baseline, or a baseline cell that disappeared.
+fn check_against(cells: &[Cell], path: &str) -> usize {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_baseline: cannot read baseline {path}: {e}"));
+    let json = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("bench_baseline: malformed baseline {path}: {e}"));
+    let Some(Json::Arr(base_cells)) = json.get("cells") else {
+        panic!("bench_baseline: baseline {path} has no `cells` array");
+    };
+
+    let counter = |obj: &Json, key: &str| -> u64 {
+        obj.get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("bench_baseline: baseline cell missing `{key}`"))
+            as u64
+    };
+
+    let mut regressions = 0;
+    for base in base_cells {
+        let proto = base
+            .get("protocol")
+            .and_then(Json::as_str)
+            .expect("baseline cell has a protocol");
+        let n = counter(base, "n") as usize;
+        let Some(cur) = cells.iter().find(|c| c.protocol == proto && c.n == n) else {
+            eprintln!("REGRESSION {proto}/N={n}: cell missing from this run");
+            regressions += 1;
+            continue;
+        };
+        for (key, base_v, cur_v) in [
+            (
+                "messages_sent",
+                counter(base, "messages_sent"),
+                cur.messages_sent,
+            ),
+            ("bytes_sent", counter(base, "bytes_sent"), cur.bytes_sent),
+        ] {
+            if cur_v > base_v {
+                eprintln!(
+                    "REGRESSION {proto}/N={n}: {key} {base_v} -> {cur_v} (+{:.2}%)",
+                    (cur_v as f64 / base_v as f64 - 1.0) * 100.0
+                );
+                regressions += 1;
+            } else if cur_v < base_v {
+                // An improvement is worth noticing too: refresh the
+                // committed baseline so the gate tightens.
+                eprintln!(
+                    "improved {proto}/N={n}: {key} {base_v} -> {cur_v} \
+                     (consider refreshing the baseline)"
+                );
+            }
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let mut check_path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {
+                check_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("bench_baseline: expected a path after --check");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("bench_baseline: unknown argument {other:?} (expected --check <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let seed = base_seed();
+    let baseline = Baseline {
+        cells: measure_all(seed),
+    };
+    report_table(&baseline.cells);
+    write_json("BENCH_protocols.json", &baseline);
+
+    if let Some(path) = check_path {
+        let regressions = check_against(&baseline.cells, &path);
+        if regressions > 0 {
+            eprintln!("bench_baseline: {regressions} regression(s) vs {path}");
+            std::process::exit(1);
+        }
+        println!("bench_baseline: deterministic counters match or improve on {path}");
+    }
+}

@@ -42,14 +42,30 @@ pub fn base_seed() -> u64 {
 
 /// Output directory (`GRIDAGG_OUT`, default `results`), created on
 /// demand.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created: results silently landing
+/// nowhere is worse than a loud stop (a bench run whose CSVs vanish
+/// looks identical to one that succeeded).
 pub fn out_dir() -> PathBuf {
     let dir = std::env::var("GRIDAGG_OUT").unwrap_or_else(|_| "results".to_string());
     let path = PathBuf::from(dir);
-    let _ = std::fs::create_dir_all(&path);
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        panic!(
+            "gridagg-bench: cannot create output directory {}: {e}",
+            path.display()
+        );
+    }
     path
 }
 
 /// Write a CSV under the output directory.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — bench output is the whole
+/// point of a run, so an I/O failure must not be reduced to a log line.
 pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let mut body = header.join(",");
     body.push('\n');
@@ -60,42 +76,68 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) {
     let path = out_dir().join(name);
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        Err(e) => panic!("gridagg-bench: could not write {}: {e}", path.display()),
     }
 }
 
 /// Serialize a value as pretty JSON under the output directory —
 /// experiment configs are recorded next to their results so every CSV
 /// is reproducible from its own provenance file.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (see [`write_csv`]).
 pub fn write_json<T: gridagg_core::json::ToJson>(name: &str, value: &T) {
     let path = out_dir().join(name);
     let body = value.to_json().to_string_pretty();
     match std::fs::write(&path, body) {
         Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        Err(e) => panic!("gridagg-bench: could not write {}: {e}", path.display()),
     }
+}
+
+/// Time budget per benchmark in milliseconds (`GRIDAGG_BENCH_MS`,
+/// default 300).
+pub fn bench_budget_ms() -> u64 {
+    std::env::var("GRIDAGG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64)
+}
+
+/// Calibrated mean wall-clock time of `f`: one warm-up call sizes an
+/// iteration count targeting `budget_ms` of work (capped at
+/// `max_iters`), then the mean per-iteration duration and the number of
+/// timed iterations are returned.
+///
+/// This is the core of [`time_it`], exposed separately so callers that
+/// *record* timings (e.g. `bench_baseline`) can bound cost with a hard
+/// iteration cap — pass [`runs()`] so `GRIDAGG_RUNS=2` keeps a CI smoke
+/// run cheap — and format the result themselves.
+pub fn time_mean(
+    budget_ms: u64,
+    max_iters: u32,
+    mut f: impl FnMut(),
+) -> (std::time::Duration, u32) {
+    use std::time::{Duration, Instant};
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let target = Duration::from_millis(budget_ms);
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, u128::from(max_iters.max(1))) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    (start.elapsed() / iters, iters)
 }
 
 /// Minimal timing harness used by the `benches/` targets (they run with
 /// `harness = false`): one warm-up call calibrates an iteration count
 /// targeting ~300ms of work, then the mean per-iteration time is
 /// printed. `GRIDAGG_BENCH_MS` overrides the time budget per benchmark.
-pub fn time_it(group: &str, name: &str, mut f: impl FnMut()) {
-    use std::time::{Duration, Instant};
-    let budget_ms = std::env::var("GRIDAGG_BENCH_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(300u64);
-    let start = Instant::now();
-    f();
-    let once = start.elapsed().max(Duration::from_nanos(50));
-    let target = Duration::from_millis(budget_ms);
-    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
-    }
-    let per = start.elapsed() / iters;
+pub fn time_it(group: &str, name: &str, f: impl FnMut()) {
+    let (per, iters) = time_mean(bench_budget_ms(), 1_000_000, f);
     println!("{group}/{name:<44} {per:>12?}  ({iters} iters)");
 }
 

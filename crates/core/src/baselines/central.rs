@@ -13,6 +13,8 @@
 //!   leader crashes, members end the run with their own vote only
 //!   (completeness `1/N`).
 
+use std::sync::Arc;
+
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
 use gridagg_simnet::Round;
@@ -81,10 +83,13 @@ pub struct Centralized<A> {
     acc: Tagged<A>,
     inbound_this_round: u32,
     inbound_round: Round,
-    result: Option<Tagged<A>>,
+    /// The computed result and the final estimate are `Arc`-shared: the
+    /// leader fans the same `Final` out to every member, so each send is
+    /// a reference-count bump rather than a `Tagged` clone.
+    result: Option<Arc<Tagged<A>>>,
     next_target: u32,
     done_at: Option<Round>,
-    estimate: Option<Tagged<A>>,
+    estimate: Option<Arc<Tagged<A>>>,
 }
 
 impl<A: Aggregate> Centralized<A> {
@@ -109,7 +114,7 @@ impl<A: Aggregate> Centralized<A> {
         self.me == self.cfg.leader
     }
 
-    fn finish(&mut self, round: Round, estimate: Tagged<A>) {
+    fn finish(&mut self, round: Round, estimate: Arc<Tagged<A>>) {
         self.estimate = Some(estimate);
         self.done_at = Some(round);
     }
@@ -126,9 +131,9 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
                 return; // gathering
             }
             if self.result.is_none() {
-                self.result = Some(self.acc.clone());
+                self.result = Some(Arc::new(self.acc.clone()));
             }
-            // disseminate
+            // disseminate (clones below are Arc bumps, not deep copies)
             let result = self.result.clone().expect("set above");
             let mut sent = 0;
             while sent < self.cfg.disseminate_per_round && (self.next_target as usize) < self.n {
@@ -162,7 +167,7 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
             if round >= self.cfg.deadline(self.n) {
                 // §5 failure mode: leader never answered
                 let own = Tagged::from_vote(self.me.index(), self.vote, self.n);
-                self.finish(round, own);
+                self.finish(round, Arc::new(own));
             }
         }
     }
@@ -220,7 +225,7 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
     }
 
     fn estimate(&self) -> Option<&Tagged<A>> {
-        self.estimate.as_ref()
+        self.estimate.as_deref()
     }
 
     fn is_done(&self) -> bool {
@@ -264,7 +269,9 @@ mod tests {
         result.try_merge(&Tagged::from_vote(1, 5.0, 4)).unwrap();
         p.on_message(
             cfg.leader,
-            Payload::Final { agg: result },
+            Payload::Final {
+                agg: Arc::new(result),
+            },
             &mut ctx(3, &mut rng),
             &mut out,
         );

@@ -46,6 +46,8 @@ pub struct FlatGossip<A> {
     rounds: u32,
     done_at: Option<Round>,
     estimate: Option<Tagged<A>>,
+    /// Scratch reused by gossipee sampling across rounds.
+    scratch_picks: Vec<usize>,
 }
 
 impl<A: Aggregate> FlatGossip<A> {
@@ -62,6 +64,7 @@ impl<A: Aggregate> FlatGossip<A> {
             rounds: 0,
             done_at: None,
             estimate: None,
+            scratch_picks: Vec::new(),
         }
     }
 
@@ -89,11 +92,14 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
             return;
         }
         let &(member, value) = ctx.rng.choose(&self.known).expect("own vote known");
-        let picks =
-            ctx.rng
-                .sample_distinct(self.n, Some(self.me.index()), self.cfg.fanout as usize);
+        ctx.rng.sample_distinct_into(
+            self.n,
+            Some(self.me.index()),
+            self.cfg.fanout as usize,
+            &mut self.scratch_picks,
+        );
         out.send_many(
-            picks.into_iter().map(|p| MemberId(p as u32)),
+            self.scratch_picks.iter().map(|&p| MemberId(p as u32)),
             Payload::Vote { member, value },
         );
         self.rounds += 1;

@@ -135,9 +135,11 @@ pub struct LeaderElection<A> {
     have_vote: std::collections::HashSet<u32>,
     /// child-subtree aggregates gathered as a committee member
     aggs: HashMap<Addr, Tagged<A>>,
-    result: Option<Tagged<A>>,
+    /// `Arc`-shared: the final result fans out along the tree, so every
+    /// forwarded `Final` is a reference-count bump, not a deep clone.
+    result: Option<Arc<Tagged<A>>>,
     done_at: Option<Round>,
-    estimate: Option<Tagged<A>>,
+    estimate: Option<Arc<Tagged<A>>>,
 }
 
 impl<A: Aggregate> LeaderElection<A> {
@@ -227,7 +229,7 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
             let estimate = self
                 .result
                 .clone()
-                .unwrap_or_else(|| Tagged::from_vote(self.me.index(), self.vote, self.n));
+                .unwrap_or_else(|| Arc::new(Tagged::from_vote(self.me.index(), self.vote, self.n)));
             self.estimate = Some(estimate);
             self.done_at = Some(round);
             return;
@@ -237,15 +239,13 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
             let phase = (round / l) as usize + 1; // 1-based
             if phase == 1 {
                 // everyone ships its vote to the box committee
-                let committee: Vec<MemberId> = self
-                    .directory
-                    .committee(&self.my_box)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != self.me)
-                    .collect();
+                let me = self.me;
                 out.send_many(
-                    committee,
+                    self.directory
+                        .committee(&self.my_box)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != me),
                     Payload::Vote {
                         member: self.me,
                         value: self.vote,
@@ -257,17 +257,15 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                 let child_len = len_of(phase - 1);
                 let child = self.my_box.prefix(child_len);
                 if self.directory.is_committee(&child, self.me) {
-                    let agg = self.compose_own(child_len);
+                    let agg = Arc::new(self.compose_own(child_len));
                     let scope = self.my_box.prefix(len_of(phase));
-                    let parents: Vec<MemberId> = self
-                        .directory
-                        .committee(&scope)
-                        .iter()
-                        .copied()
-                        .filter(|&m| m != self.me)
-                        .collect();
+                    let me = self.me;
                     out.send_many(
-                        parents,
+                        self.directory
+                            .committee(&scope)
+                            .iter()
+                            .copied()
+                            .filter(|&m| m != me),
                         Payload::Agg {
                             subtree: child,
                             agg,
@@ -283,7 +281,7 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
         if step == 1 && self.directory.is_committee(&self.my_box.prefix(0), self.me) {
             // root committee finalizes the group aggregate
             let root_agg = self.compose_own(0);
-            self.result.get_or_insert(root_agg);
+            self.result.get_or_insert(Arc::new(root_agg));
         }
         if self.result.is_none() {
             return;
@@ -296,16 +294,14 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                 .directory
                 .is_committee(&self.my_box.prefix(from_len), self.me)
             {
+                let me = self.me;
                 for child in self.my_box.prefix(from_len).children() {
-                    let targets: Vec<MemberId> = self
-                        .directory
-                        .committee(&child)
-                        .iter()
-                        .copied()
-                        .filter(|&m| m != self.me)
-                        .collect();
                     out.send_many(
-                        targets,
+                        self.directory
+                            .committee(&child)
+                            .iter()
+                            .copied()
+                            .filter(|&m| m != me),
                         Payload::Final {
                             agg: result.clone(),
                         },
@@ -315,14 +311,15 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
         } else {
             // final step: box committee broadcasts to its box
             if self.directory.is_committee(&self.my_box, self.me) {
-                let targets: Vec<MemberId> = self
-                    .index
-                    .members_in(&self.my_box)
-                    .iter()
-                    .copied()
-                    .filter(|&m| m != self.me)
-                    .collect();
-                out.send_many(targets, Payload::Final { agg: result });
+                let me = self.me;
+                out.send_many(
+                    self.index
+                        .members_in(&self.my_box)
+                        .iter()
+                        .copied()
+                        .filter(|&m| m != me),
+                    Payload::Final { agg: result },
+                );
             }
         }
     }
@@ -349,9 +346,11 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
             Payload::Agg { subtree, agg } => {
                 if subtree.parent().is_some_and(|p| p.contains(&self.my_box)) {
                     let mut inserted = false;
+                    // clone out of the shared payload only on first
+                    // reception of this subtree
                     self.aggs.entry(subtree).or_insert_with(|| {
                         inserted = true;
-                        agg
+                        (*agg).clone()
                     });
                     inserted
                 } else {
@@ -390,7 +389,7 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
     }
 
     fn estimate(&self) -> Option<&Tagged<A>> {
-        self.estimate.as_ref()
+        self.estimate.as_deref()
     }
 
     fn is_done(&self) -> bool {

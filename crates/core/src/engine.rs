@@ -65,6 +65,8 @@ where
         max_rounds: Round,
     ) -> Self {
         assert!(!protocols.is_empty(), "simulation needs members");
+        let mut net = net;
+        net.reserve_nodes(protocols.len());
         let root = DetRng::seeded(seed).fork(0x6D62_7273); // "mbrs"
         let rngs = (0..protocols.len()).map(|i| root.fork(i as u64)).collect();
         let started = vec![true; protocols.len()];
@@ -121,6 +123,9 @@ where
     pub fn run_with<S: TraceSink>(mut self, sink: &mut S) -> RunReport {
         let n = self.protocols.len();
         let mut out = Outbox::new();
+        // Delivery scratch, reused every round: `drain_into` refills it
+        // in place, so the steady state is zero per-round allocation.
+        let mut delivery = Vec::new();
         let mut round: Round = 0;
         if S::ENABLED {
             for (i, &started) in self.started.iter().enumerate() {
@@ -146,7 +151,8 @@ where
 
             // 2. deliver due messages to alive members; a protocol
             //    message wakes a member that has not started yet
-            for env in self.net.drain(round) {
+            self.net.drain_into(round, &mut delivery);
+            for env in delivery.drain(..) {
                 let to = env.to.index();
                 if !self.failure.is_alive(env.to) {
                     continue;

@@ -112,6 +112,10 @@ impl HierGossipConfig {
     }
 }
 
+/// A lazily built, `Arc`-shared batch of child-subtree aggregates —
+/// the body of a [`Payload::AggBatch`].
+type SharedAggBatch<A> = Arc<Vec<(Addr, Arc<Tagged<A>>)>>;
+
 /// One member's Hierarchical Gossiping state machine.
 #[derive(Debug)]
 pub struct HierGossip<A> {
@@ -130,7 +134,10 @@ pub struct HierGossip<A> {
 
     /// Known subtree aggregates, keyed by subtree prefix (first
     /// reception wins; own computations overwrite own-scope keys).
-    aggs: HashMap<Addr, Tagged<A>>,
+    /// Values are `Arc`-shared with in-flight payloads: adopting a
+    /// received aggregate or staging one for gossip never copies the
+    /// contributor bitmap.
+    aggs: HashMap<Addr, Arc<Tagged<A>>>,
 
     /// Current phase (1-based); `phases + 1` means terminated.
     phase: usize,
@@ -150,7 +157,18 @@ pub struct HierGossip<A> {
     children: Vec<Addr>,
 
     done_at: Option<Round>,
-    estimate: Option<Tagged<A>>,
+    estimate: Option<Arc<Tagged<A>>>,
+
+    /// Arc-shared gossip bodies, built lazily and reused across sends
+    /// and rounds until the underlying state changes (new vote, new
+    /// aggregate, or phase transition). Fanning out to `M` gossipees is
+    /// then `M` reference-count bumps instead of `M` deep clones.
+    vote_batch: Option<Arc<Vec<(MemberId, f64)>>>,
+    agg_batch: Option<SharedAggBatch<A>>,
+    /// Scratch reused by gossipee sampling (indices) and One-mode
+    /// candidate selection (known child subtrees).
+    scratch_picks: Vec<usize>,
+    scratch_children: Vec<Addr>,
 
     /// Per-phase completion trace: `(phase, components_known,
     /// components_expected, votes_covered)` recorded at each phase end.
@@ -202,6 +220,10 @@ impl<A: Aggregate> HierGossip<A> {
             children: Vec::new(),
             done_at: None,
             estimate: None,
+            vote_batch: None,
+            agg_batch: None,
+            scratch_picks: Vec::new(),
+            scratch_children: Vec::new(),
             trace: Vec::new(),
         }
     }
@@ -275,6 +297,33 @@ impl<A: Aggregate> HierGossip<A> {
         }
     }
 
+    /// The shared phase-1 gossip body: every known vote of my box.
+    /// Rebuilt only after [`Self::learn_vote`] admits a new vote.
+    fn vote_batch(&mut self) -> Arc<Vec<(MemberId, f64)>> {
+        let known = &self.known_votes;
+        self.vote_batch
+            .get_or_insert_with(|| Arc::new(known.clone()))
+            .clone()
+    }
+
+    /// The shared phase-≥2 gossip body: the known child aggregates of
+    /// the current scope, in child order. Rebuilt only after a state
+    /// change ([`Self::learn_agg`] or a phase transition).
+    fn agg_batch(&mut self) -> SharedAggBatch<A> {
+        let children = &self.children;
+        let aggs = &self.aggs;
+        self.agg_batch
+            .get_or_insert_with(|| {
+                Arc::new(
+                    children
+                        .iter()
+                        .filter_map(|c| aggs.get(c).map(|a| (*c, a.clone())))
+                        .collect(),
+                )
+            })
+            .clone()
+    }
+
     /// Close out the current phase: compose this scope's aggregate from
     /// the known components and advance.
     fn finish_phase(&mut self, round: Round) {
@@ -321,7 +370,12 @@ impl<A: Aggregate> HierGossip<A> {
         // height-(i−1) subtree immediately after phase (i−1) concludes."
         // When a more complete evaluation of the same subtree was already
         // received from a faster peer, keep that one (see `upgrade`).
-        Self::upgrade(&mut self.aggs, self.scope, composed);
+        Self::upgrade(&mut self.aggs, self.scope, Arc::new(composed));
+
+        // the scope (and possibly `aggs`) just changed: both cached
+        // gossip bodies are stale
+        self.vote_batch = None;
+        self.agg_batch = None;
 
         self.phase += 1;
         self.rounds_in_phase = 0;
@@ -342,6 +396,8 @@ impl<A: Aggregate> HierGossip<A> {
     /// send them the current-phase values (one random value or the full
     /// known set, per [`Exchange`]).
     fn gossip(&mut self, ctx: &mut Ctx<'_>, out: &mut Outbox<A>) {
+        // The payload is built before gossipees are sampled (the RNG
+        // draw order is part of the protocol's deterministic behavior).
         let payload = match (self.phase == 1, self.cfg.exchange) {
             (true, Exchange::One) => {
                 let &(member, value) = ctx
@@ -351,17 +407,19 @@ impl<A: Aggregate> HierGossip<A> {
                 Payload::Vote { member, value }
             }
             (true, Exchange::Batch) => Payload::VoteBatch {
-                votes: self.known_votes.clone(),
+                votes: self.vote_batch(),
                 reply: false,
             },
             (false, Exchange::One) => {
-                let known: Vec<&Addr> = self
-                    .children
-                    .iter()
-                    .filter(|c| self.aggs.contains_key(*c))
-                    .collect();
-                match ctx.rng.choose(&known) {
-                    Some(&&subtree) => Payload::Agg {
+                self.scratch_children.clear();
+                self.scratch_children.extend(
+                    self.children
+                        .iter()
+                        .filter(|c| self.aggs.contains_key(*c))
+                        .copied(),
+                );
+                match ctx.rng.choose(&self.scratch_children) {
+                    Some(&subtree) => Payload::Agg {
                         subtree,
                         agg: self.aggs[&subtree].clone(),
                     },
@@ -369,11 +427,7 @@ impl<A: Aggregate> HierGossip<A> {
                 }
             }
             (false, Exchange::Batch) => Payload::AggBatch {
-                aggs: self
-                    .children
-                    .iter()
-                    .filter_map(|c| self.aggs.get(c).map(|a| (*c, a.clone())))
-                    .collect(),
+                aggs: self.agg_batch(),
                 reply: false,
             },
         };
@@ -382,23 +436,30 @@ impl<A: Aggregate> HierGossip<A> {
             if self.view_scope.is_empty() {
                 return;
             }
-            let picks =
-                ctx.rng
-                    .sample_distinct(self.view_scope.len(), None, self.cfg.fanout as usize);
-            let targets: Vec<MemberId> = picks.into_iter().map(|p| self.view_scope[p]).collect();
-            out.send_many(targets, payload);
+            ctx.rng.sample_distinct_into(
+                self.view_scope.len(),
+                None,
+                self.cfg.fanout as usize,
+                &mut self.scratch_picks,
+            );
+            let view_scope = &self.view_scope;
+            out.send_many(self.scratch_picks.iter().map(|&p| view_scope[p]), payload);
             return;
         }
         let scope_members = self.index.members_in(&self.scope);
         if scope_members.len() <= 1 {
             return;
         }
-        let picks = ctx.rng.sample_distinct(
+        ctx.rng.sample_distinct_into(
             scope_members.len(),
             self.my_pos_in_scope,
             self.cfg.fanout as usize,
+            &mut self.scratch_picks,
         );
-        out.send_many(picks.into_iter().map(|p| scope_members[p]), payload);
+        out.send_many(
+            self.scratch_picks.iter().map(|&p| scope_members[p]),
+            payload,
+        );
     }
 
     /// Store an aggregate for `key`, keeping whichever version covers
@@ -410,7 +471,7 @@ impl<A: Aggregate> HierGossip<A> {
     /// preserves the no-double-counting invariant while letting complete
     /// evaluations displace partial ones as they spread — the same
     /// convergence rule Astrolabe-style systems use.
-    fn upgrade(aggs: &mut HashMap<Addr, Tagged<A>>, key: Addr, agg: Tagged<A>) {
+    fn upgrade(aggs: &mut HashMap<Addr, Arc<Tagged<A>>>, key: Addr, agg: Arc<Tagged<A>>) {
         match aggs.entry(key) {
             std::collections::hash_map::Entry::Vacant(v) => {
                 v.insert(agg);
@@ -430,6 +491,7 @@ impl<A: Aggregate> HierGossip<A> {
     fn learn_vote(&mut self, member: MemberId, value: f64) -> bool {
         if self.index.box_of(member) == self.my_box && self.have_vote.insert(member.0) {
             self.known_votes.push((member, value));
+            self.vote_batch = None; // cached gossip body is stale
             return true;
         }
         false
@@ -437,21 +499,40 @@ impl<A: Aggregate> HierGossip<A> {
 
     /// Record a received subtree aggregate if it is relevant. Returns
     /// whether the stored state changed (new subtree, or a more complete
-    /// evaluation displacing a partial one).
-    fn learn_agg(&mut self, subtree: Addr, agg: Tagged<A>) -> bool {
-        if self.relevant(&subtree) {
-            let before = self.aggs.get(&subtree).map(|a| a.vote_count());
-            Self::upgrade(&mut self.aggs, subtree, agg);
-            return self.aggs.get(&subtree).map(|a| a.vote_count()) != before;
+    /// evaluation displacing a partial one). Adopting a received
+    /// aggregate is a reference-count bump — the `Arc` is shared with
+    /// the payload, never deep-copied.
+    fn learn_agg(&mut self, subtree: Addr, agg: &Arc<Tagged<A>>) -> bool {
+        if !self.relevant(&subtree) {
+            return false;
         }
-        false
+        let changed = match self.aggs.entry(subtree) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(agg.clone());
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                // same replace-if-more-complete rule as `upgrade`; the
+                // vote count changes exactly when the entry does
+                if agg.vote_count() > o.get().vote_count() {
+                    o.insert(agg.clone());
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if changed {
+            self.agg_batch = None; // cached gossip body is stale
+        }
+        changed
     }
 
     /// Answer a push at the given level (`None` = phase-1 votes,
     /// `Some(len)` = aggregates with prefixes of length `len`) if we
     /// know strictly more values there than the push carried.
     fn reply_at_level(
-        &self,
+        &mut self,
         from: MemberId,
         level: Option<usize>,
         carried: usize,
@@ -464,13 +545,8 @@ impl<A: Aggregate> HierGossip<A> {
                     return;
                 }
                 if self.known_votes.len() > carried {
-                    out.send(
-                        from,
-                        Payload::VoteBatch {
-                            votes: self.known_votes.clone(),
-                            reply: true,
-                        },
-                    );
+                    let votes = self.vote_batch();
+                    out.send(from, Payload::VoteBatch { votes, reply: true });
                 }
             }
             Some(len) => {
@@ -483,10 +559,21 @@ impl<A: Aggregate> HierGossip<A> {
                 if !scope.contains(&self.index.box_of(from)) {
                     return;
                 }
-                let known: Vec<(Addr, Tagged<A>)> = scope
-                    .children()
-                    .filter_map(|c| self.aggs.get(&c).map(|a| (c, a.clone())))
-                    .collect();
+                // The common case — the push is at our current level —
+                // reuses the cached gossip body: `aggs` only ever holds
+                // children with members, so filtering `children()` by
+                // presence equals the cache built over
+                // `nonempty_children` (same child order).
+                let known = if scope == self.scope {
+                    self.agg_batch()
+                } else {
+                    Arc::new(
+                        scope
+                            .children()
+                            .filter_map(|c| self.aggs.get(&c).map(|a| (c, a.clone())))
+                            .collect(),
+                    )
+                };
                 if known.len() > carried {
                     out.send(
                         from,
@@ -596,20 +683,20 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
         // Learn the content. Terminated members keep serving replies
         // below but no longer update their (final) state.
         if self.done_at.is_none() {
-            let changed = match payload {
-                Payload::Vote { member, value } => self.learn_vote(member, value),
+            let changed = match &payload {
+                Payload::Vote { member, value } => self.learn_vote(*member, *value),
                 Payload::VoteBatch { votes, .. } => {
                     let mut any = false;
-                    for (member, value) in votes {
+                    for &(member, value) in votes.iter() {
                         any |= self.learn_vote(member, value);
                     }
                     any
                 }
-                Payload::Agg { subtree, agg } => self.learn_agg(subtree, agg),
+                Payload::Agg { subtree, agg } => self.learn_agg(*subtree, agg),
                 Payload::AggBatch { aggs, .. } => {
                     let mut any = false;
-                    for (subtree, agg) in aggs {
-                        any |= self.learn_agg(subtree, agg);
+                    for (subtree, agg) in aggs.iter() {
+                        any |= self.learn_agg(*subtree, agg);
                     }
                     any
                 }
@@ -641,7 +728,7 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
     }
 
     fn estimate(&self) -> Option<&Tagged<A>> {
-        self.estimate.as_ref()
+        self.estimate.as_deref()
     }
 
     fn is_done(&self) -> bool {
@@ -815,7 +902,7 @@ mod tests {
             MemberId(1),
             Payload::Agg {
                 subtree: foreign,
-                agg: Tagged::from_vote(1, 1.0, 64),
+                agg: Arc::new(Tagged::from_vote(1, 1.0, 64)),
             },
             &mut ctx,
             &mut out,
@@ -871,7 +958,7 @@ mod tests {
                 MemberId(1),
                 Payload::Agg {
                     subtree: sibling,
-                    agg: sib_agg,
+                    agg: Arc::new(sib_agg),
                 },
                 &mut ctx,
                 &mut out,
@@ -954,7 +1041,7 @@ mod tests {
         p.on_message(
             mate,
             Payload::VoteBatch {
-                votes: vec![(mate, 2.0)],
+                votes: Arc::new(vec![(mate, 2.0)]),
                 reply: false,
             },
             &mut ctx,
@@ -991,7 +1078,7 @@ mod tests {
         p.on_message(
             mate,
             Payload::VoteBatch {
-                votes: vec![],
+                votes: Arc::new(vec![]),
                 reply: true,
             },
             &mut ctx,
@@ -1029,7 +1116,7 @@ mod tests {
             p.on_message(
                 mate,
                 Payload::VoteBatch {
-                    votes: vec![],
+                    votes: Arc::new(vec![]),
                     reply: false,
                 },
                 &mut ctx,

@@ -9,12 +9,20 @@
 //! `Tagged` contributor bitset is simulation instrumentation and is
 //! excluded from wire-size accounting; see `gridagg-aggregate::wire`.)
 
+use std::sync::Arc;
+
 use gridagg_aggregate::wire::WireAggregate;
 use gridagg_aggregate::Tagged;
 use gridagg_group::MemberId;
 use gridagg_hierarchy::Addr;
 
 /// A protocol message payload.
+///
+/// Heavy bodies (aggregates, batches) are [`Arc`]-shared so that
+/// fanning one payload out to `F` gossip targets is `F` reference-count
+/// bumps, not `F` deep clones of the `Tagged` contributor bitsets. The
+/// `Arc` is a simulation/runtime artifact — wire sizes and the codec
+/// are unaffected.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload<A> {
     /// One member's vote, with the identifier of the member whose vote it
@@ -32,28 +40,30 @@ pub enum Payload<A> {
         /// The subtree this aggregate summarizes.
         subtree: Addr,
         /// The aggregate (instrumented with its contributor set).
-        agg: Tagged<A>,
+        agg: Arc<Tagged<A>>,
     },
     /// The final group-wide result, disseminated by centralized /
     /// leader-election protocols.
     Final {
         /// The group aggregate.
-        agg: Tagged<A>,
+        agg: Arc<Tagged<A>>,
     },
     /// A batch of known votes (phase-1 batch gossip). Bounded by the
     /// grid box size (expected `K`), so still constant-size in `N`.
     VoteBatch {
         /// `(owner, vote)` pairs.
-        votes: Vec<(MemberId, f64)>,
+        votes: Arc<Vec<(MemberId, f64)>>,
         /// Whether this is a reactive reply to a push (replies are never
         /// answered, so exchanges terminate).
         reply: bool,
     },
     /// A batch of known child-subtree aggregates (phase ≥ 2 batch
-    /// gossip). Bounded by `K` entries — constant-size in `N`.
+    /// gossip). Bounded by `K` entries — constant-size in `N`. Entries
+    /// are themselves `Arc`-shared so a receiver can adopt one without
+    /// copying its contributor bitmap.
     AggBatch {
         /// `(subtree, aggregate)` pairs.
-        aggs: Vec<(Addr, Tagged<A>)>,
+        aggs: Arc<Vec<(Addr, Arc<Tagged<A>>)>>,
         /// Whether this is a reactive reply to a push.
         reply: bool,
     },
@@ -108,7 +118,7 @@ mod tests {
         let mut t = Tagged::<Average>::from_vote(0, 1.0, 1000);
         let one = Payload::Agg {
             subtree: addr(),
-            agg: t.clone(),
+            agg: Arc::new(t.clone()),
         }
         .wire_size();
         for i in 1..500 {
@@ -116,7 +126,7 @@ mod tests {
         }
         let many = Payload::Agg {
             subtree: addr(),
-            agg: t,
+            agg: Arc::new(t),
         }
         .wire_size();
         assert_eq!(one, many, "aggregate wire size must not grow with votes");
@@ -127,25 +137,28 @@ mod tests {
     fn batch_sizes_bounded_by_entry_count() {
         let votes: Vec<(MemberId, f64)> = (0..4).map(|i| (MemberId(i), i as f64)).collect();
         let p: Payload<Average> = Payload::VoteBatch {
-            votes,
+            votes: Arc::new(votes),
             reply: false,
         };
         assert_eq!(p.wire_size(), 1 + 2 + 4 * 12);
         let aggs = vec![
-            (addr(), Tagged::<Average>::from_vote(0, 1.0, 8)),
-            (addr(), Tagged::<Average>::from_vote(1, 2.0, 8)),
+            (addr(), Arc::new(Tagged::<Average>::from_vote(0, 1.0, 8))),
+            (addr(), Arc::new(Tagged::<Average>::from_vote(1, 2.0, 8))),
         ];
-        let p = Payload::AggBatch { aggs, reply: true };
+        let p = Payload::AggBatch {
+            aggs: Arc::new(aggs),
+            reply: true,
+        };
         assert_eq!(p.wire_size(), 1 + 2 + 2 * (2 + 2 + 16));
     }
 
     #[test]
     fn final_size() {
         let t = Tagged::<Average>::from_vote(0, 1.0, 10);
-        let p = Payload::Final { agg: t };
+        let p = Payload::Final { agg: Arc::new(t) };
         assert_eq!(p.wire_size(), 1 + 16);
         let empty = Payload::Final {
-            agg: Tagged::<Average>::empty(10),
+            agg: Arc::new(Tagged::<Average>::empty(10)),
         };
         assert_eq!(empty.wire_size(), 1);
     }
@@ -157,6 +170,8 @@ mod tests {
 /// sets ride along for exact completeness measurement (see
 /// `gridagg_aggregate::wire::encode_tagged` for the size caveat).
 pub mod codec {
+    use std::sync::Arc;
+
     use bytes::{Buf, BufMut};
     use gridagg_aggregate::wire::{decode_tagged, encode_tagged, WireAggregate, WireError};
     use gridagg_group::MemberId;
@@ -215,7 +230,7 @@ pub mod codec {
                 buf.put_u8(TAG_VOTE_BATCH);
                 buf.put_u8(u8::from(*reply));
                 buf.put_u16(votes.len() as u16);
-                for (m, v) in votes {
+                for (m, v) in votes.iter() {
                     buf.put_u32(m.0);
                     buf.put_f64(*v);
                 }
@@ -224,7 +239,7 @@ pub mod codec {
                 buf.put_u8(TAG_AGG_BATCH);
                 buf.put_u8(u8::from(*reply));
                 buf.put_u16(aggs.len() as u16);
-                for (addr, agg) in aggs {
+                for (addr, agg) in aggs.iter() {
                     put_addr(addr, buf);
                     encode_tagged(agg, buf);
                 }
@@ -253,10 +268,10 @@ pub mod codec {
             }
             TAG_AGG => Ok(Payload::Agg {
                 subtree: get_addr(buf)?,
-                agg: decode_tagged(buf)?,
+                agg: Arc::new(decode_tagged(buf)?),
             }),
             TAG_FINAL => Ok(Payload::Final {
-                agg: decode_tagged(buf)?,
+                agg: Arc::new(decode_tagged(buf)?),
             }),
             TAG_VOTE_BATCH => {
                 if buf.remaining() < 3 {
@@ -271,7 +286,10 @@ pub mod codec {
                     }
                     votes.push((MemberId(buf.get_u32()), buf.get_f64()));
                 }
-                Ok(Payload::VoteBatch { votes, reply })
+                Ok(Payload::VoteBatch {
+                    votes: Arc::new(votes),
+                    reply,
+                })
             }
             TAG_AGG_BATCH => {
                 if buf.remaining() < 3 {
@@ -281,9 +299,12 @@ pub mod codec {
                 let count = buf.get_u16() as usize;
                 let mut aggs = Vec::with_capacity(count.min(1024));
                 for _ in 0..count {
-                    aggs.push((get_addr(buf)?, decode_tagged(buf)?));
+                    aggs.push((get_addr(buf)?, Arc::new(decode_tagged(buf)?)));
                 }
-                Ok(Payload::AggBatch { aggs, reply })
+                Ok(Payload::AggBatch {
+                    aggs: Arc::new(aggs),
+                    reply,
+                })
             }
             _ => Err(WireError::Malformed),
         }
@@ -312,17 +333,17 @@ pub mod codec {
             });
             roundtrip(Payload::Agg {
                 subtree: addr,
-                agg: tagged.clone(),
+                agg: Arc::new(tagged.clone()),
             });
             roundtrip(Payload::Final {
-                agg: tagged.clone(),
+                agg: Arc::new(tagged.clone()),
             });
             roundtrip(Payload::VoteBatch {
-                votes: vec![(MemberId(1), 1.0), (MemberId(2), 2.0)],
+                votes: Arc::new(vec![(MemberId(1), 1.0), (MemberId(2), 2.0)]),
                 reply: true,
             });
             roundtrip(Payload::AggBatch {
-                aggs: vec![(addr, tagged)],
+                aggs: Arc::new(vec![(addr, Arc::new(tagged))]),
                 reply: false,
             });
         }
@@ -339,11 +360,11 @@ pub mod codec {
         #[test]
         fn empty_batches_roundtrip() {
             roundtrip(Payload::VoteBatch {
-                votes: vec![],
+                votes: Arc::new(vec![]),
                 reply: false,
             });
             roundtrip(Payload::AggBatch {
-                aggs: vec![],
+                aggs: Arc::new(vec![]),
                 reply: true,
             });
         }

@@ -43,12 +43,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use gridagg_aggregate::wire::WireAggregate;
+use gridagg_aggregate::wire::{EncodeMemo, WireAggregate};
 use gridagg_aggregate::Tagged;
 use gridagg_core::hiergossip::{HierGossip, HierGossipConfig};
 use gridagg_core::message::codec;
 use gridagg_core::protocol::{AggregationProtocol, Ctx, Outbox};
 use gridagg_core::scope::ScopeIndex;
+use gridagg_core::Payload;
 use gridagg_group::MemberId;
 use gridagg_simnet::rng::DetRng;
 
@@ -152,6 +153,7 @@ pub fn run_group<A: WireAggregate + Send + 'static>(
             cfg: rt_cfg,
             done: done_tx.clone(),
             shutdown: shutdown.clone(),
+            wire: EncodeMemo::new(),
         };
         handles.push(std::thread::spawn(move || task.run()));
     }
@@ -182,6 +184,11 @@ struct MemberTask<A> {
     cfg: RuntimeConfig,
     done: mpsc::Sender<MemberOutcome<A>>,
     shutdown: Arc<AtomicBool>,
+    /// Memoized wire form of the last payload sent. Gossip fans the
+    /// same payload out to several peers (and repeats it across rounds
+    /// while state is stable), so most sends reuse the cached bytes
+    /// instead of re-encoding.
+    wire: EncodeMemo<Payload<A>>,
 }
 
 impl<A: WireAggregate> MemberTask<A> {
@@ -257,14 +264,14 @@ impl<A: WireAggregate> MemberTask<A> {
     }
 
     fn flush(&mut self, out: &mut Outbox<A>) {
-        let msgs: Vec<(MemberId, gridagg_core::Payload<A>)> = out.drain().collect();
-        for (to, payload) in msgs {
+        for (to, payload) in out.drain() {
             if self.cfg.inject_loss > 0.0 && self.rng.chance(self.cfg.inject_loss) {
                 continue; // injected send-side loss
             }
-            let mut wire = Vec::with_capacity(128);
-            codec::encode(&payload, &mut wire);
-            let _ = self.socket.send_to(&wire, self.addrs[to.index()]);
+            let wire = self
+                .wire
+                .bytes_for(&payload, |p, buf| codec::encode(p, buf));
+            let _ = self.socket.send_to(wire, self.addrs[to.index()]);
         }
     }
 }

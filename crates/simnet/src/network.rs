@@ -132,11 +132,20 @@ impl NetworkConfig {
 pub struct SimNetwork<P> {
     cfg: NetworkConfig,
     queue: BTreeMap<Round, Vec<Envelope<P>>>,
+    /// Recycled per-round delivery buffers: emptied by `drain_into`,
+    /// reused by `send` instead of allocating a fresh `Vec` for every
+    /// delivery round.
+    spare: Vec<Vec<Envelope<P>>>,
     stats: NetworkStats,
     rng: DetRng,
     sends_this_round: Vec<u32>,
     counted_round: Round,
+    in_flight_now: u64,
 }
+
+/// Cap on recycled round buffers: enough for any realistic delay model
+/// (delays span a handful of rounds) without hoarding memory.
+const SPARE_BUFFERS: usize = 32;
 
 impl<P> SimNetwork<P> {
     /// Create a network with the given configuration and loss/delay RNG
@@ -145,10 +154,20 @@ impl<P> SimNetwork<P> {
         SimNetwork {
             cfg,
             queue: BTreeMap::new(),
+            spare: Vec::new(),
             stats: NetworkStats::default(),
             rng: DetRng::seeded(seed).fork(0x6E65_7477), // "netw"
             sends_this_round: Vec::new(),
             counted_round: 0,
+            in_flight_now: 0,
+        }
+    }
+
+    /// Pre-size the per-sender bandwidth counters for `n` nodes so the
+    /// hot send path never grows them incrementally.
+    pub fn reserve_nodes(&mut self, n: usize) {
+        if self.sends_this_round.len() < n {
+            self.sends_this_round.resize(n, 0);
         }
     }
 
@@ -200,12 +219,18 @@ impl<P> SimNetwork<P> {
         self.stats.delivered += 1;
         self.stats.bytes_delivered += wire_bytes as u64;
         let at = round + delay;
-        self.queue.entry(at).or_default().push(Envelope {
-            from,
-            to,
-            sent_at: round,
-            payload,
-        });
+        let spare = &mut self.spare;
+        self.queue
+            .entry(at)
+            .or_insert_with(|| spare.pop().unwrap_or_default())
+            .push(Envelope {
+                from,
+                to,
+                sent_at: round,
+                payload,
+            });
+        self.in_flight_now += 1;
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight_now);
         SendOutcome::Queued { at }
     }
 
@@ -213,11 +238,28 @@ impl<P> SimNetwork<P> {
     /// before stepping the protocols.
     pub fn drain(&mut self, round: Round) -> Vec<Envelope<P>> {
         let mut due = Vec::new();
-        let later = self.queue.split_off(&(round + 1));
-        for (_, mut batch) in std::mem::replace(&mut self.queue, later) {
-            due.append(&mut batch);
-        }
+        self.drain_into(round, &mut due);
         due
+    }
+
+    /// Like [`SimNetwork::drain`], but appends into a caller-provided
+    /// buffer (cleared first) so a round-loop can reuse one allocation
+    /// for the whole run. Emptied per-round queues are recycled for
+    /// future sends.
+    pub fn drain_into(&mut self, round: Round, due: &mut Vec<Envelope<P>>) {
+        due.clear();
+        while self
+            .queue
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= round)
+        {
+            let (_, mut batch) = self.queue.pop_first().expect("peeked above");
+            due.append(&mut batch);
+            if self.spare.len() < SPARE_BUFFERS {
+                self.spare.push(batch);
+            }
+        }
+        self.in_flight_now -= due.len() as u64;
     }
 
     /// Number of messages currently in flight.
@@ -343,6 +385,47 @@ mod tests {
             net.send(0, NodeId(0), NodeId(1), 2, 8),
             SendOutcome::DroppedBandwidth
         );
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer_and_matches_drain() {
+        let mut net = perfect_net();
+        let mut buf = Vec::new();
+        for r in 0..5 {
+            net.send(r, NodeId(0), NodeId(1), r as u32, 8);
+            net.drain_into(r + 1, &mut buf);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf[0].payload, r as u32);
+        }
+        // buffer is cleared on every call, not accumulated
+        net.drain_into(100, &mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn peak_in_flight_tracks_high_water_mark() {
+        let mut net = perfect_net();
+        for i in 0..7 {
+            net.send(0, NodeId(0), NodeId(1), i, 8);
+        }
+        assert_eq!(net.stats().peak_in_flight, 7);
+        net.drain(1);
+        // draining does not lower the recorded peak
+        net.send(1, NodeId(0), NodeId(1), 99, 8);
+        assert_eq!(net.stats().peak_in_flight, 7);
+    }
+
+    #[test]
+    fn reserve_nodes_does_not_change_behavior() {
+        let cfg = NetworkConfig::default().with_bandwidth_cap(2);
+        let mut net: SimNetwork<u32> = SimNetwork::new(cfg, 7);
+        net.reserve_nodes(4);
+        for i in 0..5 {
+            net.send(0, NodeId(0), NodeId(1), i, 8);
+        }
+        assert_eq!(net.stats().dropped_bandwidth, 3);
+        assert_eq!(net.drain(1).len(), 2);
     }
 
     #[test]

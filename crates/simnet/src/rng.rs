@@ -187,29 +187,62 @@ impl DetRng {
     /// a partial Fisher–Yates over a scratch vector for small scopes and
     /// rejection sampling for large ones.
     pub fn sample_distinct(&mut self, len: usize, skip: Option<usize>, m: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.sample_distinct_into(len, skip, m, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`DetRng::sample_distinct`]: writes the
+    /// picks into `out` (cleared first), so round-loops can reuse one
+    /// scratch buffer. Draws the *exact same* random sequence as
+    /// `sample_distinct` for the same inputs — callers may switch between
+    /// the two without perturbing a seeded run.
+    pub fn sample_distinct_into(
+        &mut self,
+        len: usize,
+        skip: Option<usize>,
+        m: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         let available = len - usize::from(skip.is_some_and(|s| s < len));
         let take = m.min(available);
         if take == 0 {
-            return Vec::new();
+            return;
         }
         // Rejection sampling is cheap when take << len.
         if len > 8 * take + 8 {
-            let mut picked = Vec::with_capacity(take);
-            while picked.len() < take {
+            out.reserve(take);
+            while out.len() < take {
                 let c = self.below(len);
-                if Some(c) != skip && !picked.contains(&c) {
-                    picked.push(c);
+                if Some(c) != skip && !out.contains(&c) {
+                    out.push(c);
                 }
             }
-            return picked;
+            return;
         }
-        let mut pool: Vec<usize> = (0..len).filter(|&i| Some(i) != skip).collect();
+        // Partial Fisher–Yates over the candidate pool. The pool is
+        // bounded by `8·take + 8` here, so a stack buffer covers every
+        // realistic fanout without touching the heap.
+        let mut stack = [0usize; 128];
+        let mut heap;
+        let pool: &mut [usize] = if len <= stack.len() {
+            &mut stack[..len]
+        } else {
+            heap = vec![0usize; len];
+            &mut heap[..]
+        };
+        let mut filled = 0;
+        for i in (0..len).filter(|&i| Some(i) != skip) {
+            pool[filled] = i;
+            filled += 1;
+        }
+        let pool = &mut pool[..filled];
         for i in 0..take {
             let j = i + self.below(pool.len() - i);
             pool.swap(i, j);
         }
-        pool.truncate(take);
-        pool
+        out.extend_from_slice(&pool[..take]);
     }
 
     /// Access the raw generator for direct 64-bit draws.
@@ -322,6 +355,23 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_ne!(s[0], s[1]);
         assert!(!s.contains(&42));
+    }
+
+    #[test]
+    fn sample_distinct_into_draws_identical_sequence() {
+        // the buffered variant must be a drop-in replacement: same seed,
+        // same picks, on both the pool and rejection paths
+        for (len, skip, m) in [(10, Some(3), 4), (10_000, Some(42), 2), (3, None, 8)] {
+            let mut a = DetRng::seeded(21);
+            let mut b = DetRng::seeded(21);
+            let mut buf = vec![999; 8]; // stale contents must be cleared
+            for _ in 0..50 {
+                let plain = a.sample_distinct(len, skip, m);
+                b.sample_distinct_into(len, skip, m, &mut buf);
+                assert_eq!(plain, buf);
+            }
+            assert_eq!(a.raw().next_u64(), b.raw().next_u64(), "streams aligned");
+        }
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct NetworkStats {
     /// Total hop count of all sent messages (distance-weighted load);
     /// only populated when positions are known.
     pub total_hops: u64,
+    /// Largest number of messages simultaneously in flight at any point
+    /// of the run — the network's buffering high-water mark, used by the
+    /// bench baseline as a deterministic load proxy.
+    pub peak_in_flight: u64,
 }
 
 impl NetworkStats {
@@ -69,6 +73,9 @@ impl NetworkStats {
             *a += b;
         }
         self.total_hops += other.total_hops;
+        // a high-water mark, not a flow count: the merged peak is the
+        // worst single-run peak
+        self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
     }
 }
 
@@ -118,6 +125,7 @@ mod tests {
             dropped_loss: 1,
             bytes_sent: 32,
             total_hops: 5,
+            peak_in_flight: 9,
             ..Default::default()
         };
         a.merge(&b);
@@ -126,5 +134,6 @@ mod tests {
         assert_eq!(a.dropped_loss, 1);
         assert_eq!(a.bytes_sent, 48);
         assert_eq!(a.total_hops, 5);
+        assert_eq!(a.peak_in_flight, 9, "peak merges as a max");
     }
 }

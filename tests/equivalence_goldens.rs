@@ -1,0 +1,283 @@
+//! Golden-run equivalence: the optimized hot path must be
+//! *byte-identical* in behavior to the pre-optimization tree.
+//!
+//! The numbers below were captured from the seed implementation (before
+//! buffer pooling, `Arc`-shared payloads, and cached gossip bodies were
+//! introduced) at three group sizes. Every optimization since must
+//! preserve the exact RNG draw sequence and message flow, so any drift
+//! in rounds, message counts, byte counts, or the *bit patterns* of the
+//! derived metrics is a behavior change, not noise — this suite is the
+//! proof the optimizations are pure.
+//!
+//! Floats are compared as `u64` bit patterns (`f64::to_bits`), so even
+//! a last-ulp difference from a reordered fold fails loudly.
+
+use gridagg::core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
+use gridagg::core::runner::run_hiergossip_traced;
+use gridagg::core::RunReport;
+use gridagg::prelude::*;
+
+/// One frozen run outcome from the seed tree.
+struct Golden {
+    rounds: Round,
+    sent: u64,
+    delivered: u64,
+    bytes_sent: u64,
+    dropped_loss: u64,
+    completed: usize,
+    mean_completeness_bits: u64,
+    mean_value_bits: u64,
+}
+
+fn check(label: &str, n: usize, seed: u64, report: &RunReport, golden: &Golden) {
+    assert_eq!(
+        report.rounds, golden.rounds,
+        "{label} n={n} s={seed}: rounds"
+    );
+    assert_eq!(report.net.sent, golden.sent, "{label} n={n} s={seed}: sent");
+    assert_eq!(
+        report.net.delivered, golden.delivered,
+        "{label} n={n} s={seed}: delivered"
+    );
+    assert_eq!(
+        report.net.bytes_sent, golden.bytes_sent,
+        "{label} n={n} s={seed}: bytes"
+    );
+    assert_eq!(
+        report.net.dropped_loss, golden.dropped_loss,
+        "{label} n={n} s={seed}: dropped"
+    );
+    assert_eq!(
+        report.completed(),
+        golden.completed,
+        "{label} n={n} s={seed}: completed"
+    );
+    assert_eq!(
+        report.mean_completeness().unwrap_or(-1.0).to_bits(),
+        golden.mean_completeness_bits,
+        "{label} n={n} s={seed}: mean completeness bits"
+    );
+    assert_eq!(
+        report.mean_value_error().unwrap_or(-1.0).to_bits(),
+        golden.mean_value_bits,
+        "{label} n={n} s={seed}: mean value-error bits"
+    );
+}
+
+fn cfg(n: usize) -> ExperimentConfig {
+    ExperimentConfig::paper_defaults().with_n(n)
+}
+
+#[test]
+fn hiergossip_matches_seed_behavior() {
+    for (n, seed, golden) in [
+        (
+            64,
+            3,
+            Golden {
+                rounds: 15,
+                sent: 2041,
+                delivered: 1521,
+                bytes_sent: 104201,
+                dropped_loss: 520,
+                completed: 64,
+                mean_completeness_bits: 0x3ff0000000000000,
+                mean_value_bits: 0x3cb4c076cde21a9c,
+            },
+        ),
+        (
+            256,
+            7,
+            Golden {
+                rounds: 21,
+                sent: 10964,
+                delivered: 8253,
+                bytes_sent: 577166,
+                dropped_loss: 2711,
+                completed: 251,
+                mean_completeness_bits: 0x3fef97d734041466,
+                mean_value_bits: 0x3f6a92c4baad445d,
+            },
+        ),
+        (
+            1024,
+            11,
+            Golden {
+                rounds: 31,
+                sent: 65280,
+                delivered: 48822,
+                bytes_sent: 3629370,
+                dropped_loss: 16458,
+                completed: 997,
+                mean_completeness_bits: 0x3fef28cf786cdee0,
+                mean_value_bits: 0x3f6128e0b35ff2b9,
+            },
+        ),
+    ] {
+        let report = run_hiergossip::<Average>(&cfg(n), seed);
+        check("hier", n, seed, &report, &golden);
+    }
+}
+
+#[test]
+fn traced_hiergossip_matches_untraced_and_seed_trace_counts() {
+    // Tracing must not perturb a run, and the trace itself is part of
+    // the frozen behavior: the seed tree recorded exactly these event
+    // counts.
+    for (n, seed, events) in [(64usize, 3u64, 5207usize), (256, 7, 27706)] {
+        let plain = run_hiergossip::<Average>(&cfg(n), seed);
+        let (traced, trace) = run_hiergossip_traced::<Average>(&cfg(n), seed);
+        assert_eq!(plain.rounds, traced.rounds, "n={n}: rounds");
+        assert_eq!(plain.net, traced.net, "n={n}: network stats");
+        assert_eq!(plain.outcomes, traced.outcomes, "n={n}: outcomes");
+        assert_eq!(trace.len(), events, "n={n}: trace event count");
+    }
+}
+
+#[test]
+fn flatgossip_matches_seed_behavior() {
+    for (n, seed, golden) in [
+        (
+            64,
+            3,
+            Golden {
+                rounds: 20,
+                sent: 2294,
+                delivered: 1710,
+                bytes_sent: 29822,
+                dropped_loss: 584,
+                completed: 62,
+                mean_completeness_bits: 0x3fd5210842108421,
+                mean_value_bits: 0x3fb4a30fd594062f,
+            },
+        ),
+        (
+            1024,
+            11,
+            Golden {
+                rounds: 52,
+                sent: 99924,
+                delivered: 74888,
+                bytes_sent: 1299012,
+                dropped_loss: 25036,
+                completed: 978,
+                mean_completeness_bits: 0x3fb1a871146acc2c,
+                mean_value_bits: 0x3fab131c23a5bd29,
+            },
+        ),
+    ] {
+        let report = run_flatgossip::<Average>(&cfg(n), seed);
+        check("flat", n, seed, &report, &golden);
+    }
+}
+
+#[test]
+fn flood_matches_seed_behavior() {
+    for (n, seed, golden) in [
+        (
+            64,
+            3,
+            Golden {
+                rounds: 12,
+                sent: 4032,
+                delivered: 3024,
+                bytes_sent: 52416,
+                dropped_loss: 1008,
+                completed: 64,
+                mean_completeness_bits: 0x3fe8200000000000,
+                mean_value_bits: 0x3fa07f1a5dc6dc4b,
+            },
+        ),
+        (
+            256,
+            7,
+            Golden {
+                rounds: 36,
+                sent: 63935,
+                delivered: 47835,
+                bytes_sent: 831155,
+                dropped_loss: 16100,
+                completed: 249,
+                mean_completeness_bits: 0x3fe77cea68de1282,
+                mean_value_bits: 0x3f90bcd02eb735ed,
+            },
+        ),
+    ] {
+        let report = run_flood::<Average>(&cfg(n), FloodConfig::default(), seed);
+        check("flood", n, seed, &report, &golden);
+    }
+}
+
+#[test]
+fn centralized_matches_seed_behavior() {
+    for (n, seed, golden) in [
+        (
+            64,
+            3,
+            Golden {
+                rounds: 16,
+                sent: 189,
+                delivered: 148,
+                bytes_sent: 2709,
+                dropped_loss: 41,
+                completed: 63,
+                mean_completeness_bits: 0x3fe930c30c30c30c,
+                mean_value_bits: 0x3fb737b0b33d4144,
+            },
+        ),
+        (
+            1024,
+            11,
+            Golden {
+                rounds: 106,
+                sent: 3007,
+                delivered: 2234,
+                bytes_sent: 43183,
+                dropped_loss: 773,
+                completed: 944,
+                mean_completeness_bits: 0x3fe528e5f75270d0,
+                mean_value_bits: 0x3fc110b072b89b78,
+            },
+        ),
+    ] {
+        let report = run_centralized::<Average>(&cfg(n), CentralizedConfig::for_group(n), seed);
+        check("central", n, seed, &report, &golden);
+    }
+}
+
+#[test]
+fn leader_election_matches_seed_behavior() {
+    for (n, seed, golden) in [
+        (
+            64,
+            3,
+            Golden {
+                rounds: 14,
+                sent: 252,
+                delivered: 193,
+                bytes_sent: 3998,
+                dropped_loss: 59,
+                completed: 64,
+                mean_completeness_bits: 0x3febb00000000000,
+                mean_value_bits: 0x3fa696a9bde22121,
+            },
+        ),
+        (
+            256,
+            7,
+            Golden {
+                rounds: 18,
+                sent: 1000,
+                delivered: 762,
+                bytes_sent: 16036,
+                dropped_loss: 238,
+                completed: 251,
+                mean_completeness_bits: 0x3fe96f0b38187a64,
+                mean_value_bits: 0x3f9f0b7220423b8d,
+            },
+        ),
+    ] {
+        let report = run_leader_election::<Average>(&cfg(n), LeaderElectionConfig::default(), seed);
+        check("leader", n, seed, &report, &golden);
+    }
+}
