@@ -6,6 +6,7 @@
 //! (for approximate quantiles), and a bounded top-K — all with
 //! constant-size state, as the composability definition requires.
 
+use crate::conv;
 use crate::Aggregate;
 
 /// Arithmetic mean: state is `(sum, count)`.
@@ -55,7 +56,7 @@ impl Aggregate for Average {
         if self.count == 0 {
             f64::NAN
         } else {
-            self.sum / self.count as f64
+            self.sum / conv::count_to_f64(self.count)
         }
     }
 }
@@ -93,6 +94,12 @@ impl Count {
         assert!(n > 0, "Count::from_parts with 0");
         Count(n)
     }
+
+    /// The raw count, without the float round-trip of
+    /// [`Aggregate::summary`].
+    pub fn value(&self) -> u64 {
+        self.0
+    }
 }
 
 impl Aggregate for Count {
@@ -105,7 +112,7 @@ impl Aggregate for Count {
     }
 
     fn summary(&self) -> f64 {
-        self.0 as f64
+        conv::count_to_f64(self.0)
     }
 }
 
@@ -181,7 +188,7 @@ impl MeanVar {
         if self.count == 0 {
             f64::NAN
         } else {
-            self.m2 / self.count as f64
+            self.m2 / conv::count_to_f64(self.count)
         }
     }
 
@@ -208,7 +215,10 @@ impl Aggregate for MeanVar {
             *self = *other;
             return;
         }
-        let (na, nb) = (self.count as f64, other.count as f64);
+        let (na, nb) = (
+            conv::count_to_f64(self.count),
+            conv::count_to_f64(other.count),
+        );
         let delta = other.mean - self.mean;
         let n = na + nb;
         self.mean += delta * nb / n;
@@ -269,17 +279,20 @@ impl Histogram16 {
         if total == 0 {
             return f64::NAN;
         }
-        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let width = (self.hi - self.lo) / HISTOGRAM_BUCKETS as f64;
+        let rank = (q.clamp(0.0, 1.0) * conv::count_to_f64(total))
+            .ceil()
+            .max(1.0);
+        let target = conv::f64_to_count(rank);
+        let width = (self.hi - self.lo) / conv::count_to_f64(HISTOGRAM_BUCKETS as u64);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             if seen + c >= target {
                 let into = if c == 0 {
                     0.5
                 } else {
-                    (target - seen) as f64 / c as f64
+                    conv::count_to_f64(target - seen) / conv::count_to_f64(c)
                 };
-                return self.lo + (i as f64 + into) * width;
+                return self.lo + (conv::count_to_f64(i as u64) + into) * width;
             }
             seen += c;
         }
@@ -290,10 +303,10 @@ impl Histogram16 {
 impl Aggregate for Histogram16 {
     fn from_vote(vote: f64) -> Self {
         let (lo, hi) = HISTOGRAM_RANGE;
-        let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
-        let idx = (((vote - lo) / width).floor() as i64).clamp(0, HISTOGRAM_BUCKETS as i64 - 1);
+        let width = (hi - lo) / conv::count_to_f64(HISTOGRAM_BUCKETS as u64);
+        let idx = conv::f64_to_bucket((vote - lo) / width, HISTOGRAM_BUCKETS);
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
-        buckets[idx as usize] = 1;
+        buckets[idx] = 1;
         Histogram16 { lo, hi, buckets }
     }
 

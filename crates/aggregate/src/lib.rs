@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
+pub(crate) mod conv;
 pub mod funcs;
 pub mod tagged;
 pub mod voteset;
@@ -44,6 +45,22 @@ pub mod wire;
 pub use funcs::{All, Any, Average, Count, Histogram16, Max, MeanVar, Min, Sum, TopK};
 pub use tagged::{DoubleCount, Tagged};
 pub use voteset::VoteSet;
+
+/// Assert an internal protocol invariant when the `strict-invariants`
+/// feature is enabled; compiles to nothing otherwise.
+///
+/// The feature is evaluated in the *calling* crate, so downstream crates
+/// (e.g. `gridagg-core`) declare their own `strict-invariants` feature
+/// that forwards to this crate's. See DESIGN.md §11.
+#[macro_export]
+macro_rules! strict_assert {
+    ($($arg:tt)*) => {
+        #[cfg(feature = "strict-invariants")]
+        {
+            assert!($($arg)*);
+        }
+    };
+}
 
 /// A composable aggregate function (the paper's `f` with composition `g`).
 ///

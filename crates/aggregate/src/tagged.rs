@@ -94,12 +94,24 @@ impl<A: Aggregate> Tagged<A> {
         if !self.votes.is_disjoint(&other.votes) {
             return Err(DoubleCount);
         }
+        #[cfg(feature = "strict-invariants")]
+        let expected_len = self.votes.len() + other.votes.len();
         match (&mut self.agg, &other.agg) {
             (_, None) => {}
             (Some(mine), Some(theirs)) => mine.merge(theirs),
             (mine @ None, Some(theirs)) => *mine = Some(theirs.clone()),
         }
         self.votes.union_with(&other.votes);
+        crate::strict_assert!(
+            self.votes.len() == expected_len,
+            "strict-invariants: merged vote accounting lost or duplicated a contributor \
+             ({} != {expected_len})",
+            self.votes.len()
+        );
+        crate::strict_assert!(
+            self.agg.is_some() || self.votes.is_empty(),
+            "strict-invariants: non-empty contributor set without an aggregate value"
+        );
         Ok(())
     }
 }

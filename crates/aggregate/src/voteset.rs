@@ -131,7 +131,7 @@ impl VoteSet {
         if n == 0 {
             1.0
         } else {
-            self.len as f64 / n as f64
+            crate::conv::count_to_f64(self.len as u64) / crate::conv::count_to_f64(n as u64)
         }
     }
 }

@@ -140,7 +140,9 @@ impl WireAggregate for Max {
 
 impl WireAggregate for Count {
     fn encode<B: BufMut>(&self, buf: &mut B) {
-        buf.put_u64(self.summary() as u64);
+        // the raw count, not `summary() as u64`: no float round-trip on
+        // the wire (lint rule D004)
+        buf.put_u64(self.value());
     }
 
     fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
@@ -214,7 +216,7 @@ impl WireAggregate for MeanVar {
         buf.put_f64(if self.count() == 0 {
             0.0
         } else {
-            self.variance() * self.count() as f64
+            self.variance() * crate::conv::count_to_f64(self.count())
         });
     }
 

@@ -244,6 +244,9 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
             regressions += 1;
             continue;
         };
+        // Gated counters: any increase fails the run, and the failure
+        // names the counter and both values so the log alone localizes
+        // the regression.
         for (key, base_v, cur_v) in [
             (
                 "messages_sent",
@@ -265,6 +268,25 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
                     "improved {proto}/N={n}: {key} {base_v} -> {cur_v} \
                      (consider refreshing the baseline)"
                 );
+            }
+        }
+        // Informational counters: also deterministic, but not gated
+        // (a rounds or delivery-count shift may be a deliberate
+        // protocol change). Any drift is still printed with both
+        // values — a silent divergence here usually foreshadows a
+        // gated one. Allocation counters stay out entirely: they vary
+        // across toolchains.
+        for (key, base_v, cur_v) in [
+            ("rounds", counter(base, "rounds"), cur.rounds),
+            ("delivered", counter(base, "delivered"), cur.delivered),
+            (
+                "peak_in_flight",
+                counter(base, "peak_in_flight"),
+                cur.peak_in_flight,
+            ),
+        ] {
+            if cur_v != base_v {
+                eprintln!("note {proto}/N={n}: {key} {base_v} -> {cur_v} (not gated)");
             }
         }
     }

@@ -133,8 +133,12 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
             if self.result.is_none() {
                 self.result = Some(Arc::new(self.acc.clone()));
             }
-            // disseminate (clones below are Arc bumps, not deep copies)
-            let result = self.result.clone().expect("set above");
+            // disseminate (clones below are Arc bumps, not deep copies);
+            // the result was just materialized above, so the else arm is
+            // unreachable — but handlers never panic (lint rule D003)
+            let Some(result) = self.result.clone() else {
+                return;
+            };
             let mut sent = 0;
             while sent < self.cfg.disseminate_per_round && (self.next_target as usize) < self.n {
                 let target = MemberId(self.next_target);

@@ -6,10 +6,9 @@
 //! messages, so coverage per vote collapses as `N` grows — the
 //! quantitative argument for the hierarchy.
 
-use std::collections::HashSet;
-
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
+use gridagg_simnet::detcol::DetSet;
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
@@ -42,7 +41,7 @@ pub struct FlatGossip<A> {
     n: usize,
     cfg: FlatGossipConfig,
     known: Vec<(MemberId, f64)>,
-    have: HashSet<u32>,
+    have: DetSet<u32>,
     rounds: u32,
     done_at: Option<Round>,
     estimate: Option<Tagged<A>>,
@@ -53,7 +52,7 @@ pub struct FlatGossip<A> {
 impl<A: Aggregate> FlatGossip<A> {
     /// Create the instance for member `me` of a group of `n`.
     pub fn new(me: MemberId, vote: f64, n: usize, cfg: FlatGossipConfig) -> Self {
-        let mut have = HashSet::new();
+        let mut have = DetSet::new();
         have.insert(me.0);
         FlatGossip {
             me,
@@ -84,14 +83,22 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
             votes.sort_unstable_by_key(|(m, _)| *m);
             let mut acc = Tagged::<A>::empty(self.n);
             for (m, v) in votes {
-                acc.try_merge(&Tagged::from_vote(m.index(), v, self.n))
-                    .expect("unique votes");
+                // `have` dedupes inserts into `known`, so these merges
+                // are disjoint; if that ever broke, dropping the
+                // duplicate (try_merge leaves `acc` untouched on error)
+                // beats panicking in a handler (lint rule D003).
+                let _ = acc.try_merge(&Tagged::from_vote(m.index(), v, self.n));
             }
             self.estimate = Some(acc);
             self.done_at = Some(ctx.round);
             return;
         }
-        let &(member, value) = ctx.rng.choose(&self.known).expect("own vote known");
+        // The known set always holds at least the member's own vote, so
+        // an empty choice is unreachable; bail instead of panicking in a
+        // handler (lint rule D003).
+        let Some(&(member, value)) = ctx.rng.choose(&self.known) else {
+            return;
+        };
         ctx.rng.sample_distinct_into(
             self.n,
             Some(self.me.index()),
@@ -176,7 +183,7 @@ mod tests {
         let mut p: FlatGossip<Average> = FlatGossip::new(MemberId(4), 3.0, 10, cfg);
         let mut rng = DetRng::seeded(1);
         let mut out = Outbox::new();
-        let mut seen = HashSet::new();
+        let mut seen = DetSet::new();
         for round in 0..50 {
             let mut ctx = Ctx::new(round, &mut rng);
             p.on_round(&mut ctx, &mut out);

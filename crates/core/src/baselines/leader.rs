@@ -22,12 +22,12 @@
 //! rounds each (members retransmit within a phase to tolerate loss),
 //! then `depth + 1` downward dissemination steps of `phase_len` rounds.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
 use gridagg_hierarchy::Addr;
+use gridagg_simnet::detcol::{DetMap, DetSet};
 use gridagg_simnet::rng::splitmix64;
 use gridagg_simnet::Round;
 
@@ -67,7 +67,7 @@ fn election_key(salt: u64, id: MemberId) -> u64 {
 /// view; sharing it is a simulation-level optimisation).
 #[derive(Debug)]
 pub struct LeaderDirectory {
-    committees: HashMap<Addr, Vec<MemberId>>,
+    committees: DetMap<Addr, Vec<MemberId>>,
 }
 
 impl LeaderDirectory {
@@ -75,7 +75,7 @@ impl LeaderDirectory {
     pub fn build(index: &ScopeIndex, cfg: &LeaderElectionConfig) -> Arc<Self> {
         let h = *index.hierarchy();
         let k_prime = cfg.committee.max(1);
-        let mut committees: HashMap<Addr, Vec<MemberId>> = HashMap::new();
+        let mut committees: DetMap<Addr, Vec<MemberId>> = DetMap::new();
         let pick = |mut cands: Vec<MemberId>| -> Vec<MemberId> {
             cands.sort_unstable_by_key(|&m| (election_key(cfg.salt, m), m));
             cands.truncate(k_prime);
@@ -132,9 +132,9 @@ pub struct LeaderElection<A> {
     my_box: Addr,
     /// votes gathered as a box-committee member
     votes: Vec<(MemberId, f64)>,
-    have_vote: std::collections::HashSet<u32>,
+    have_vote: DetSet<u32>,
     /// child-subtree aggregates gathered as a committee member
-    aggs: HashMap<Addr, Tagged<A>>,
+    aggs: DetMap<Addr, Tagged<A>>,
     /// `Arc`-shared: the final result fans out along the tree, so every
     /// forwarded `Final` is a reference-count bump, not a deep clone.
     result: Option<Arc<Tagged<A>>>,
@@ -152,7 +152,7 @@ impl<A: Aggregate> LeaderElection<A> {
         cfg: LeaderElectionConfig,
     ) -> Self {
         let my_box = index.box_of(me);
-        let mut have_vote = std::collections::HashSet::new();
+        let mut have_vote = DetSet::new();
         have_vote.insert(me.0);
         LeaderElection {
             me,
@@ -164,7 +164,7 @@ impl<A: Aggregate> LeaderElection<A> {
             my_box,
             votes: vec![(me, vote)],
             have_vote,
-            aggs: HashMap::new(),
+            aggs: DetMap::new(),
             result: None,
             done_at: None,
             estimate: None,
@@ -283,10 +283,9 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
             let root_agg = self.compose_own(0);
             self.result.get_or_insert(Arc::new(root_agg));
         }
-        if self.result.is_none() {
+        let Some(result) = self.result.clone() else {
             return;
-        }
-        let result = self.result.clone().expect("checked above");
+        };
         if step <= self.depth() {
             // committee at len (step-1) forwards to committees at len step
             let from_len = step - 1;
@@ -345,6 +344,19 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
             }
             Payload::Agg { subtree, agg } => {
                 if subtree.parent().is_some_and(|p| p.contains(&self.my_box)) {
+                    // Addr consistency: an adopted child aggregate must
+                    // only cover that child's members (see DESIGN.md §11).
+                    #[cfg(feature = "strict-invariants")]
+                    {
+                        let index = &self.index;
+                        assert!(
+                            agg.votes()
+                                .iter()
+                                .all(|m| subtree.contains(&index.box_of(MemberId(m as u32)))),
+                            "strict-invariants: received aggregate for {subtree} covers a \
+                             member outside that subtree"
+                        );
+                    }
                     let mut inserted = false;
                     // clone out of the shared payload only on first
                     // reception of this subtree

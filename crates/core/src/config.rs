@@ -279,8 +279,7 @@ impl ExperimentConfig {
     /// slack (protocols normally finish well before).
     pub fn max_rounds(&self) -> u64 {
         let h = gridagg_hierarchy::Hierarchy::for_group(self.k, self.n_estimate.unwrap_or(self.n))
-            .map(|h| h.phases() as u64)
-            .unwrap_or(8);
+            .map_or(8, |h| h.phases() as u64);
         let rpp = self.hier_config().rounds_per_phase(self.n) as u64;
         2 * h * rpp + 32
     }

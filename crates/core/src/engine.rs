@@ -252,7 +252,9 @@ where
                 if let (true, Some(est)) = (p.is_done(), p.estimate()) {
                     MemberOutcome::Completed {
                         completeness: est.completeness(n),
-                        value: est.aggregate().map_or(f64::NAN, |a| a.summary()),
+                        value: est
+                            .aggregate()
+                            .map_or(f64::NAN, gridagg_aggregate::Aggregate::summary),
                         at: p.completed_at().unwrap_or(round),
                     }
                 } else if !self.failure.is_alive(MemberId(i as u32)) {

@@ -71,12 +71,13 @@ pub fn run_many<F>(runs: usize, base_seed: u64, f: F) -> Vec<RunReport>
 where
     F: Fn(u64) -> RunReport + Sync,
 {
+    // lint:allow(D002) thread count only partitions seed-ordered work; results are scheduling-independent (run_many_matches_sequential_execution)
     let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
+        .map_or(4, std::num::NonZero::get)
         .min(runs.max(1));
     let mut reports: Vec<Option<RunReport>> = (0..runs).map(|_| None).collect();
     let chunk = runs.div_ceil(threads.max(1));
+    // lint:allow(D002) scoped fan-out over per-seed runs; each run is a pure function of its seed
     std::thread::scope(|scope| {
         for (t, slot) in reports.chunks_mut(chunk.max(1)).enumerate() {
             let f = &f;
@@ -114,7 +115,10 @@ pub fn summarize(reports: &[RunReport]) -> Summary {
         };
     }
     let runs = reports.len();
-    let incs: Vec<f64> = reports.iter().map(|r| r.mean_incompleteness()).collect();
+    let incs: Vec<f64> = reports
+        .iter()
+        .map(super::metrics::RunReport::mean_incompleteness)
+        .collect();
     let mean_inc = incs.iter().sum::<f64>() / runs as f64;
     let var = if runs > 1 {
         incs.iter().map(|x| (x - mean_inc).powi(2)).sum::<f64>() / (runs - 1) as f64

@@ -29,12 +29,12 @@
 //! membership views ([`HierGossip::with_view`]) implement the §2
 //! relaxation.
 
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
 use gridagg_hierarchy::Addr;
+use gridagg_simnet::detcol::{DetMap, DetSet, Entry};
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
@@ -128,16 +128,16 @@ pub struct HierGossip<A> {
     my_box: Addr,
 
     /// Known votes of members in my grid box: parallel vec for
-    /// deterministic random selection + set for O(1) dedup.
+    /// deterministic random selection + set for cheap dedup.
     known_votes: Vec<(MemberId, f64)>,
-    have_vote: HashSet<u32>,
+    have_vote: DetSet<u32>,
 
     /// Known subtree aggregates, keyed by subtree prefix (first
     /// reception wins; own computations overwrite own-scope keys).
     /// Values are `Arc`-shared with in-flight payloads: adopting a
     /// received aggregate or staging one for gossip never copies the
     /// contributor bitmap.
-    aggs: HashMap<Addr, Arc<Tagged<A>>>,
+    aggs: DetMap<Addr, Arc<Tagged<A>>>,
 
     /// Current phase (1-based); `phases + 1` means terminated.
     phase: usize,
@@ -198,7 +198,7 @@ impl<A: Aggregate> HierGossip<A> {
         let hierarchy = *index.hierarchy();
         let my_box = index.box_of(me);
         let my_pos = index.position_in(&my_box, me);
-        let mut have_vote = HashSet::new();
+        let mut have_vote = DetSet::new();
         have_vote.insert(me.0);
         HierGossip {
             me,
@@ -210,7 +210,7 @@ impl<A: Aggregate> HierGossip<A> {
             my_box,
             known_votes: vec![(me, vote)],
             have_vote,
-            aggs: HashMap::new(),
+            aggs: DetMap::new(),
             my_view: None,
             phase: 1,
             rounds_in_phase: 0,
@@ -366,6 +366,23 @@ impl<A: Aggregate> HierGossip<A> {
             at: round,
         });
 
+        // Addr consistency: everything the composed aggregate claims to
+        // cover must actually live inside the scope it is keyed under.
+        #[cfg(feature = "strict-invariants")]
+        {
+            let scope = self.scope;
+            let index = &self.index;
+            assert!(
+                composed
+                    .votes()
+                    .iter()
+                    .all(|m| scope.contains(&index.box_of(MemberId(m as u32)))),
+                "strict-invariants: phase-{} aggregate for {scope} covers a member \
+                 outside its scope",
+                self.phase
+            );
+        }
+
         // "M_j already knows about the aggregate value for its own
         // height-(i−1) subtree immediately after phase (i−1) concludes."
         // When a more complete evaluation of the same subtree was already
@@ -379,6 +396,14 @@ impl<A: Aggregate> HierGossip<A> {
 
         self.phase += 1;
         self.rounds_in_phase = 0;
+        // Phase monotonicity: phases only ever advance by one and never
+        // run past the terminal `phases + 1` state.
+        gridagg_aggregate::strict_assert!(
+            self.phase <= self.phases + 1,
+            "strict-invariants: phase {} advanced past termination ({} phases)",
+            self.phase,
+            self.phases
+        );
         if self.phase > self.phases {
             let root = self.scope.prefix(0);
             self.estimate = self.aggs.get(&root).cloned();
@@ -471,12 +496,12 @@ impl<A: Aggregate> HierGossip<A> {
     /// preserves the no-double-counting invariant while letting complete
     /// evaluations displace partial ones as they spread — the same
     /// convergence rule Astrolabe-style systems use.
-    fn upgrade(aggs: &mut HashMap<Addr, Arc<Tagged<A>>>, key: Addr, agg: Arc<Tagged<A>>) {
+    fn upgrade(aggs: &mut DetMap<Addr, Arc<Tagged<A>>>, key: Addr, agg: Arc<Tagged<A>>) {
         match aggs.entry(key) {
-            std::collections::hash_map::Entry::Vacant(v) => {
+            Entry::Vacant(v) => {
                 v.insert(agg);
             }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
+            Entry::Occupied(mut o) => {
                 if agg.vote_count() > o.get().vote_count() {
                     o.insert(agg);
                 }
@@ -506,12 +531,26 @@ impl<A: Aggregate> HierGossip<A> {
         if !self.relevant(&subtree) {
             return false;
         }
+        // Addr consistency: a received subtree aggregate must only cover
+        // members of that subtree, or adopting it would double-count
+        // once sibling aggregates are composed.
+        #[cfg(feature = "strict-invariants")]
+        {
+            let index = &self.index;
+            assert!(
+                agg.votes()
+                    .iter()
+                    .all(|m| subtree.contains(&index.box_of(MemberId(m as u32)))),
+                "strict-invariants: received aggregate for {subtree} covers a member \
+                 outside that subtree"
+            );
+        }
         let changed = match self.aggs.entry(subtree) {
-            std::collections::hash_map::Entry::Vacant(v) => {
+            Entry::Vacant(v) => {
                 v.insert(agg.clone());
                 true
             }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
+            Entry::Occupied(mut o) => {
                 // same replace-if-more-complete rule as `upgrade`; the
                 // vote count changes exactly when the entry does
                 if agg.vote_count() > o.get().vote_count() {

@@ -149,7 +149,9 @@ pub fn run_periodic<A: WireAggregate>(
                 Some(acc) => acc.merge(&v),
             }
         }
-        let true_value = truth_acc.as_ref().map_or(f64::NAN, |a| a.summary());
+        let true_value = truth_acc
+            .as_ref()
+            .map_or(f64::NAN, gridagg_aggregate::Aggregate::summary);
 
         // NOTE: protocols are indexed densely by the engine, so build a
         // dense sub-simulation over survivors only.

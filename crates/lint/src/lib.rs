@@ -1,0 +1,893 @@
+//! In-repo determinism/safety linter for the gridagg workspace.
+//!
+//! This is a deliberately small, dependency-free static-analysis pass
+//! built on a line-oriented lexer: comments and string literals are
+//! stripped (preserving line structure) so rules can pattern-match on
+//! *code* without tripping over prose, and `//` comment text is kept
+//! separately so waivers can be parsed from it.
+//!
+//! # Rules
+//!
+//! - **D001** — no `HashMap`/`HashSet` in protocol-state crates
+//!   (`core`, `simnet`, `hierarchy`, `group`, `aggregate`) outside
+//!   tests. Iteration order of the std hash collections is randomized
+//!   per process, which silently breaks the repo's byte-identical
+//!   golden-run guarantees. Use
+//!   `gridagg_simnet::detcol::{DetMap, DetSet}`.
+//! - **D002** — no wall-clock reads (`SystemTime::now`,
+//!   `Instant::now`), OS threading (`std::thread`), process state
+//!   (`std::process`, `std::env`) or entropy-seeded randomness outside
+//!   the `runtime` and `bench` crates (and this linter). Simulated
+//!   time and `DetRng` are the only clocks and dice the protocol
+//!   crates may roll.
+//! - **D003** — no `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` inside message-decode paths (`fn decode*`)
+//!   and protocol event handlers (`fn on_*`) of the protocol-state
+//!   crates. A malformed or unexpected message must surface as an
+//!   error or be dropped, never crash the process.
+//! - **D004** — no bare `as` float↔int casts in aggregate math (the
+//!   `aggregate` crate). Conversions go through the audited helpers in
+//!   `gridagg_aggregate`'s `conv` module, which carry exactness and
+//!   range assertions under `strict-invariants`.
+//!
+//! # Waivers
+//!
+//! A rule can be suppressed at a single site with a comment on the
+//! same line or the line directly above:
+//!
+//! ```text
+//! // lint:allow(D002) reason why this site is sound
+//! ```
+//!
+//! The reason is mandatory; a reasonless waiver is itself reported.
+//! Waivers must be plain `//` comments — doc comments (`///`, `//!`)
+//! never carry them, so examples like the one above are inert. All
+//! honoured waivers are tallied in the tool's output so the exception
+//! surface stays visible.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose state machines must stay deterministic (rule D001) and
+/// whose handler paths must stay panic-free (rule D003).
+const PROTOCOL_STATE_CRATES: &[&str] = &["core", "simnet", "hierarchy", "group", "aggregate"];
+
+/// Crates allowed to touch wall clocks, OS threads, process state and
+/// entropy (rule D002). `runtime` bridges to real sockets and clocks,
+/// `bench` measures them, and the linter itself is a CLI tool.
+const D002_EXEMPT_CRATES: &[&str] = &["runtime", "bench", "lint"];
+
+/// The rule set, in the order they are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Hash collections in protocol-state crates.
+    D001,
+    /// Wall clocks, OS threads, process/env state outside runtime/bench.
+    D002,
+    /// Panicking calls in decode/handler paths.
+    D003,
+    /// Bare `as` float↔int casts in aggregate math.
+    D004,
+}
+
+/// All rules, in report order.
+pub const ALL_RULES: [Rule; 4] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004];
+
+impl Rule {
+    /// The rule identifier as written in waivers, e.g. `"D001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+        }
+    }
+
+    /// One-line human summary used in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::D001 => "hash collection in protocol-state crate (use detcol::DetMap/DetSet)",
+            Rule::D002 => "wall clock / OS thread / process state outside runtime+bench",
+            Rule::D003 => "panicking call in decode/on_* handler path",
+            Rule::D004 => "bare `as` float<->int cast in aggregate math (use the conv module)",
+        }
+    }
+
+    /// Parse a rule id (`"D001"`..`"D004"`).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s {
+            "D001" => Some(Rule::D001),
+            "D002" => Some(Rule::D002),
+            "D003" => Some(Rule::D003),
+            "D004" => Some(Rule::D004),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A rule violation at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// A violation that was suppressed by a `lint:allow` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waived {
+    /// Which rule was waived.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number of the suppressed site.
+    pub line: usize,
+    /// The justification text from the waiver comment.
+    pub reason: String,
+}
+
+/// A malformed waiver: unknown rule id or missing reason. These count
+/// as findings — a waiver must say *why*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadWaiver {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number of the waiver comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// The outcome of linting one file or a whole tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Findings {
+    /// Unwaivered violations — these fail the build.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by a well-formed waiver.
+    pub waived: Vec<Waived>,
+    /// Malformed waivers — these also fail the build.
+    pub bad_waivers: Vec<BadWaiver>,
+    /// Waivers that matched no violation (informational only).
+    pub unused_waivers: Vec<(Rule, String, usize)>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Findings {
+    /// Whether the tree is clean: no unwaivered violations and no
+    /// malformed waivers.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.bad_waivers.is_empty()
+    }
+
+    fn absorb(&mut self, other: Findings) {
+        self.violations.extend(other.violations);
+        self.waived.extend(other.waived);
+        self.bad_waivers.extend(other.bad_waivers);
+        self.unused_waivers.extend(other.unused_waivers);
+        self.files_scanned += other.files_scanned;
+    }
+}
+
+/// One source line after lexing: code with comments/strings blanked
+/// out, plus the text of any `//` comment that started on the line.
+#[derive(Debug, Clone)]
+struct LexedLine {
+    code: String,
+    comment: Option<String>,
+}
+
+/// Strip comments and string/char literals from `src`, preserving the
+/// line structure exactly (every `\n` survives; removed spans become
+/// spaces). Line-comment text is captured per line for waiver parsing.
+fn lex(src: &str) -> Vec<LexedLine> {
+    let bytes = src.as_bytes();
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                code.push('\n');
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment: blank the span. Only plain `//`
+                // comments can carry waivers — doc comments (`///`,
+                // `//!`) are prose about code, not annotations on it,
+                // so a waiver example in documentation never fires.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    code.push(' ');
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if !text.starts_with("///") && !text.starts_with("//!") {
+                    comments.push((line, text.to_string()));
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment, possibly nested; blank it, keep newlines.
+                let mut depth = 1usize;
+                code.push(' ');
+                code.push(' ');
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        code.push_str("  ");
+                        i += 2;
+                    } else if bytes[i] == b'\n' {
+                        code.push('\n');
+                        line += 1;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Ordinary string literal (or the body of b"..."):
+                // blank contents, keep the quotes for token shape.
+                code.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            code.push_str("  ");
+                            i += 2;
+                        }
+                        b'"' => {
+                            code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            code.push('\n');
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if is_raw_string_start(bytes, i) => {
+                // Raw string r"..." / r#"..."# (any hash count).
+                let mut j = i + 1;
+                let mut hashes = 0usize;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                // Emit blanks for r##...#"
+                for _ in i..=j {
+                    code.push(' ');
+                }
+                i = j + 1; // past the opening quote
+                'raw: while i < bytes.len() {
+                    if bytes[i] == b'"' {
+                        // Check for closing hash run.
+                        let mut k = i + 1;
+                        let mut seen = 0usize;
+                        while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                            seen += 1;
+                            k += 1;
+                        }
+                        if seen == hashes {
+                            for _ in i..k {
+                                code.push(' ');
+                            }
+                            i = k;
+                            break 'raw;
+                        }
+                    }
+                    if bytes[i] == b'\n' {
+                        code.push('\n');
+                        line += 1;
+                    } else {
+                        code.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal is '<esc>'
+                // or 'X'; anything else ('static, 'a in bounds) is a
+                // lifetime and passes through.
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                    // Escaped char literal: blank until closing quote.
+                    code.push(' ');
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        code.push(' ');
+                        i += 1;
+                    }
+                    if i < bytes.len() {
+                        code.push(' ');
+                        i += 1;
+                    }
+                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
+                    code.push_str("   ");
+                    i += 3;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    let mut lines: Vec<LexedLine> = code
+        .split('\n')
+        .map(|l| LexedLine {
+            code: l.to_string(),
+            comment: None,
+        })
+        .collect();
+    for (ln, text) in comments {
+        if let Some(slot) = lines.get_mut(ln) {
+            slot.comment = Some(text);
+        }
+    }
+    lines
+}
+
+/// Whether `bytes[i]` (== `b'r'`) starts a raw string literal rather
+/// than an identifier ending in `r`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if i > 0 {
+        let prev = bytes[i - 1] as char;
+        // `br"` byte raw strings: allow a `b` prefix, reject other
+        // identifier tails (e.g. `attr"` can't occur in valid Rust).
+        if (prev.is_alphanumeric() || prev == '_') && prev != 'b' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Extract the crate name from a workspace-relative path:
+/// `crates/<name>/src/...` → `<name>`; the root `src/` → `"gridagg"`.
+fn crate_of(path: &str) -> &str {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or(""),
+        _ => "gridagg",
+    }
+}
+
+/// The last `fn <name>` declared on a lexed line, if any.
+fn fn_name_on_line(code: &str) -> Option<String> {
+    let b = code.as_bytes();
+    let mut found = None;
+    let mut i = 0usize;
+    while i + 2 < b.len() {
+        if &b[i..i + 2] == b"fn"
+            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
+            && b[i + 2].is_ascii_whitespace()
+        {
+            let mut j = i + 2;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let start = j;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            if j > start {
+                found = Some(code[start..j].to_string());
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
+/// Waiver declaration parsed from a `//` comment.
+enum WaiverDecl {
+    Ok { rule: Rule, reason: String },
+    Bad { problem: String },
+}
+
+/// Parse `lint:allow(D00x) reason` out of a comment, if present.
+fn parse_waiver(comment: &str) -> Option<WaiverDecl> {
+    let idx = comment.find("lint:allow(")?;
+    let rest = &comment[idx + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Some(WaiverDecl::Bad {
+            problem: "unclosed lint:allow(".to_string(),
+        });
+    };
+    let id = rest[..close].trim();
+    let Some(rule) = Rule::parse(id) else {
+        return Some(WaiverDecl::Bad {
+            problem: format!("unknown rule id {id:?} in lint:allow"),
+        });
+    };
+    let reason = rest[close + 1..].trim().to_string();
+    if reason.is_empty() {
+        return Some(WaiverDecl::Bad {
+            problem: format!("waiver for {} has no reason", rule.id()),
+        });
+    }
+    Some(WaiverDecl::Ok { rule, reason })
+}
+
+/// D002 patterns: wall clocks, OS threads, process/env state, entropy.
+const D002_PATTERNS: &[&str] = &[
+    "SystemTime::now",
+    "Instant::now",
+    "std::thread",
+    "std::process",
+    "std::env",
+    "thread_rng",
+    "from_entropy",
+    "RandomState",
+];
+
+/// D003 patterns: calls that can panic on malformed input.
+const D003_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+];
+
+/// Line markers indicating a float-valued expression feeding a `as
+/// u*`/`as i*` cast (the D004 float→int direction).
+const D004_FLOAT_MARKERS: &[&str] = &[
+    ".ceil()", ".floor()", ".round()", ".trunc()", ".sqrt()", ": f64", ": f32",
+];
+
+/// Integer-target cast tokens for D004's float→int direction.
+const D004_INT_CASTS: &[&str] = &[
+    " as u8",
+    " as u16",
+    " as u32",
+    " as u64",
+    " as u128",
+    " as usize",
+    " as i8",
+    " as i16",
+    " as i32",
+    " as i64",
+    " as i128",
+    " as isize",
+];
+
+/// Lint a single file given its workspace-relative pseudo-path (used
+/// for crate scoping) and source text. Pure function — the unit the
+/// fixture tests drive.
+pub fn lint_source(path: &str, src: &str) -> Findings {
+    let krate = crate_of(path);
+    let lines = lex(src);
+
+    let d001 = PROTOCOL_STATE_CRATES.contains(&krate);
+    let d002 = !D002_EXEMPT_CRATES.contains(&krate);
+    let d003 = PROTOCOL_STATE_CRATES.contains(&krate);
+    let d004 = krate == "aggregate";
+
+    // Brace-depth walk: track #[cfg(test)] regions (skipped entirely)
+    // and the innermost enclosing `fn` (for D003 scoping).
+    let mut depth: i32 = 0;
+    let mut paren_depth: i32 = 0; // ( and [ — so `[u8; 4]` in a signature isn't a statement end
+    let mut test_region: Option<i32> = None; // depth at region's opening brace
+    let mut pending_test_attr = false;
+    let mut fn_stack: Vec<(String, i32)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+
+    let mut raw_violations: Vec<Violation> = Vec::new();
+    let mut waivers: Vec<(Rule, usize, String, bool)> = Vec::new(); // rule, line, reason, used
+    let mut bad_waivers: Vec<BadWaiver> = Vec::new();
+
+    for (idx, lexed) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = lexed.code.as_str();
+        let in_test_at_start = test_region.is_some();
+
+        if let Some(comment) = &lexed.comment {
+            match parse_waiver(comment) {
+                Some(WaiverDecl::Ok { rule, reason }) => {
+                    waivers.push((rule, lineno, reason, false));
+                }
+                Some(WaiverDecl::Bad { problem }) => {
+                    bad_waivers.push(BadWaiver {
+                        file: path.to_string(),
+                        line: lineno,
+                        problem,
+                    });
+                }
+                None => {}
+            }
+        }
+
+        if code.contains("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        if let Some(name) = fn_name_on_line(code) {
+            pending_fn = Some(name);
+        }
+
+        // Innermost fn covering any part of this line: the one active
+        // at line start, updated if a new body opens mid-line.
+        let mut fn_for_line: Option<String> = fn_stack.last().map(|(n, _)| n.clone());
+
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending_test_attr {
+                        test_region = test_region.or(Some(depth));
+                        pending_test_attr = false;
+                    } else if let Some(name) = pending_fn.take() {
+                        fn_for_line = Some(name.clone());
+                        fn_stack.push((name, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_region == Some(depth) {
+                        test_region = None;
+                    }
+                    while fn_stack.last().is_some_and(|&(_, d)| d >= depth) {
+                        fn_stack.pop();
+                    }
+                }
+                '(' | '[' => paren_depth += 1,
+                ')' | ']' => paren_depth -= 1,
+                ';' if paren_depth == 0 => {
+                    // `fn f();` trait decls and `#[cfg(test)] use x;`
+                    // never open a body or region.
+                    pending_fn = None;
+                    pending_test_attr = false;
+                }
+                _ => {}
+            }
+        }
+
+        // Skip rule matching if a test region covered the line at its
+        // start, or one opened during it.
+        let in_test = in_test_at_start || test_region.is_some();
+        if in_test {
+            continue;
+        }
+
+        let fire = |rule: Rule, raw: &mut Vec<Violation>| {
+            raw.push(Violation {
+                rule,
+                file: path.to_string(),
+                line: lineno,
+                excerpt: src.lines().nth(idx).unwrap_or("").trim().to_string(),
+            });
+        };
+
+        if d001 && (code.contains("HashMap") || code.contains("HashSet")) {
+            fire(Rule::D001, &mut raw_violations);
+        }
+        if d002 && D002_PATTERNS.iter().any(|p| code.contains(p)) {
+            fire(Rule::D002, &mut raw_violations);
+        }
+        if d003 {
+            let in_scope = fn_for_line
+                .as_deref()
+                .is_some_and(|f| f.starts_with("on_") || f.starts_with("decode"));
+            if in_scope && D003_PATTERNS.iter().any(|p| code.contains(p)) {
+                fire(Rule::D003, &mut raw_violations);
+            }
+        }
+        if d004 {
+            let int_to_float = code.contains(" as f64") || code.contains(" as f32");
+            let float_to_int = D004_INT_CASTS.iter().any(|c| code.contains(c))
+                && D004_FLOAT_MARKERS.iter().any(|m| code.contains(m));
+            if int_to_float || float_to_int {
+                fire(Rule::D004, &mut raw_violations);
+            }
+        }
+    }
+
+    // Apply waivers: a waiver on line L covers same-rule violations on
+    // line L (trailing comment) or L+1 (comment line above the site).
+    let mut findings = Findings {
+        files_scanned: 1,
+        bad_waivers,
+        ..Findings::default()
+    };
+    for v in raw_violations {
+        let w = waivers
+            .iter_mut()
+            .find(|(rule, wl, _, _)| *rule == v.rule && (*wl == v.line || *wl + 1 == v.line));
+        match w {
+            Some((rule, _, reason, used)) => {
+                *used = true;
+                findings.waived.push(Waived {
+                    rule: *rule,
+                    file: v.file,
+                    line: v.line,
+                    reason: reason.clone(),
+                });
+            }
+            None => findings.violations.push(v),
+        }
+    }
+    for (rule, line, _, used) in waivers {
+        if !used {
+            findings.unused_waivers.push((rule, path.to_string(), line));
+        }
+    }
+    findings
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for
+/// deterministic report order.
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `crates/*/src` tree plus the root `src/` under
+/// `workspace_root`. Returns aggregated findings with
+/// workspace-relative, forward-slash paths.
+pub fn lint_tree(workspace_root: &Path) -> io::Result<Findings> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates_dir = workspace_root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<_> = fs::read_dir(&crates_dir)?.collect::<Result<_, _>>()?;
+        crates.sort_by_key(std::fs::DirEntry::file_name);
+        for c in crates {
+            let src = c.path().join("src");
+            if src.is_dir() {
+                rs_files_under(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = workspace_root.join("src");
+    if root_src.is_dir() {
+        rs_files_under(&root_src, &mut files)?;
+    }
+
+    let mut findings = Findings::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(workspace_root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&file)?;
+        findings.absorb(lint_source(&rel, &src));
+    }
+    Ok(findings)
+}
+
+/// Render findings as the human-readable report the CLI prints (also
+/// written to the `--report` file for the CI artifact).
+pub fn render_report(findings: &Findings) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "gridagg-lint: {} files scanned, {} violation(s), {} waived, {} malformed waiver(s)\n",
+        findings.files_scanned,
+        findings.violations.len(),
+        findings.waived.len(),
+        findings.bad_waivers.len(),
+    ));
+    if !findings.violations.is_empty() {
+        out.push_str("\nviolations:\n");
+        for v in &findings.violations {
+            out.push_str(&format!(
+                "  {} {}:{}: {}\n      rule: {}\n",
+                v.rule,
+                v.file,
+                v.line,
+                v.excerpt,
+                v.rule.summary()
+            ));
+        }
+    }
+    if !findings.bad_waivers.is_empty() {
+        out.push_str("\nmalformed waivers:\n");
+        for b in &findings.bad_waivers {
+            out.push_str(&format!("  {}:{}: {}\n", b.file, b.line, b.problem));
+        }
+    }
+    out.push_str("\nwaiver tally:\n");
+    if findings.waived.is_empty() {
+        out.push_str("  (none)\n");
+    } else {
+        for rule in ALL_RULES {
+            let of_rule: Vec<_> = findings.waived.iter().filter(|w| w.rule == rule).collect();
+            if of_rule.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  {} ({} site(s)):\n", rule, of_rule.len()));
+            for w in of_rule {
+                out.push_str(&format!("    {}:{} — {}\n", w.file, w.line, w.reason));
+            }
+        }
+    }
+    if !findings.unused_waivers.is_empty() {
+        out.push_str("\nunused waivers (matched no violation):\n");
+        for (rule, file, line) in &findings.unused_waivers {
+            out.push_str(&format!("  {rule} {file}:{line}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashMap */ let z = 2;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.as_deref().unwrap().contains("HashMap"));
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn lexer_handles_lifetimes_and_chars() {
+        let src = "fn f<'a>(s: &'a str) -> char { 'x' }\nlet nl = '\\n';\nlet s = r#\"raw \"quote\" HashSet\"#;\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains("'x'"));
+        assert!(!lines[2].code.contains("HashSet"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_skipped() {
+        let src = "\
+fn live() {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    let _ = m;
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        let _ = m;
+    }
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].line, 2);
+    }
+
+    #[test]
+    fn d003_only_fires_in_handler_fns() {
+        let src = "\
+fn compose(x: Option<u32>) -> u32 {
+    x.expect(\"invariant\")
+}
+fn on_round(x: Option<u32>) -> u32 {
+    x.expect(\"boom\")
+}
+fn decode_tag(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.violations.len(), 2, "{:?}", f.violations);
+        assert!(f.violations.iter().all(|v| v.rule == Rule::D003));
+        assert_eq!(f.violations[0].line, 5);
+        assert_eq!(f.violations[1].line, 8);
+    }
+
+    #[test]
+    fn crate_scoping() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", src).violations.len(), 1);
+        assert_eq!(
+            lint_source("crates/runtime/src/x.rs", src).violations.len(),
+            0
+        );
+        assert_eq!(
+            lint_source("crates/bench/src/bin/x.rs", src)
+                .violations
+                .len(),
+            0
+        );
+        let cast = "fn c(n: u64) -> f64 { n as f64 }\n";
+        assert_eq!(
+            lint_source("crates/aggregate/src/x.rs", cast)
+                .violations
+                .len(),
+            1
+        );
+        assert_eq!(
+            lint_source("crates/core/src/x.rs", cast).violations.len(),
+            0
+        );
+    }
+
+    #[test]
+    fn waiver_same_line_and_preceding_line() {
+        let src = "\
+fn f() {
+    // lint:allow(D002) reason one
+    let a = std::time::Instant::now();
+    let b = std::time::Instant::now(); // lint:allow(D002) reason two
+    let _ = (a, b);
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.waived.len(), 2);
+        assert_eq!(f.waived[0].reason, "reason one");
+        assert_eq!(f.waived[1].reason, "reason two");
+    }
+
+    #[test]
+    fn reasonless_waiver_is_malformed() {
+        let src = "\
+fn f() {
+    // lint:allow(D002)
+    let a = std::time::Instant::now();
+    let _ = a;
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.bad_waivers.len(), 1);
+        assert_eq!(f.violations.len(), 1, "violation must survive");
+        assert!(!f.is_clean());
+    }
+
+    #[test]
+    fn unused_waiver_is_reported_not_fatal() {
+        let src = "// lint:allow(D001) nothing here actually uses it\nfn f() {}\n";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert!(f.is_clean());
+        assert_eq!(f.unused_waivers.len(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! `gridagg-lint` CLI: lint the workspace tree, print the report,
+//! optionally write it to a file (the CI waiver-tally artifact), and
+//! exit non-zero on any unwaivered violation or malformed waiver.
+//!
+//! Usage:
+//!   cargo run -p gridagg-lint -- [--root <dir>] [--report <file>]
+//!
+//! `--root` defaults to the workspace root (two levels up from this
+//! crate's manifest when run via cargo, else the current directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage("--report needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: gridagg-lint [--root <dir>] [--report <file>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let findings = match gridagg_lint::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("gridagg-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = gridagg_lint::render_report(&findings);
+    print!("{report}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &report) {
+            eprintln!("gridagg-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if findings.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace root: `CARGO_MANIFEST_DIR/../..` when run under cargo,
+/// else the current directory.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let mut p = PathBuf::from(dir);
+            p.pop(); // crates/
+            p.pop(); // workspace root
+            p
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("gridagg-lint: {problem}");
+    eprintln!("usage: gridagg-lint [--root <dir>] [--report <file>]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,8 @@
+//! D001 fixture: a hash collection in protocol-state code. Its
+//! iteration order is randomized per process, which breaks the
+//! byte-identical golden guarantee. Must fire D001 exactly once.
+
+fn protocol_state() {
+    let members = std::collections::HashMap::<u32, u32>::new();
+    let _ = members;
+}

@@ -1,0 +1,7 @@
+//! D002 fixture: a wall-clock read in a protocol-state crate. The
+//! simulation's only clock is the round counter. Must fire D002
+//! exactly once.
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,7 @@
+//! D003 fixture: a panicking call inside a protocol event handler. A
+//! malformed message must be dropped or surfaced as an error, never
+//! crash. Must fire D003 exactly once.
+
+fn on_message(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,7 @@
+//! D004 fixture: a bare `as` widening in aggregate math. Conversions
+//! must go through the audited `conv` helpers so `strict-invariants`
+//! can assert exactness. Must fire D004 exactly once.
+
+fn mean(sum: f64, count: u64) -> f64 {
+    sum / count as f64
+}

@@ -1,0 +1,9 @@
+//! Waiver fixture: the same D001 pattern as the d001 fixture, but
+//! suppressed by a `lint:allow` comment with a reason. Must produce
+//! zero violations and exactly one tallied waiver.
+
+fn protocol_state() {
+    // lint:allow(D001) fixture demonstrating the waiver syntax; not protocol state
+    let members = std::collections::HashMap::<u32, u32>::new();
+    let _ = members;
+}

@@ -1,0 +1,122 @@
+//! Self-tests for `gridagg-lint`: each rule fixture fires its rule
+//! exactly once (and nothing else), the waiver fixture is clean with a
+//! tallied waiver, and the real workspace tree lints clean.
+
+use gridagg_lint::{lint_source, lint_tree, Findings, Rule};
+use std::path::Path;
+
+/// Lint a fixture under a pseudo-path that puts it in `rule`'s scope.
+fn lint_fixture(pseudo_path: &str, fixture: &str) -> Findings {
+    lint_source(pseudo_path, fixture)
+}
+
+fn assert_fires_exactly_once(f: &Findings, rule: Rule) {
+    assert_eq!(
+        f.violations.len(),
+        1,
+        "{rule} fixture must produce exactly one violation, got {:?}",
+        f.violations
+    );
+    assert_eq!(f.violations[0].rule, rule);
+    assert!(f.bad_waivers.is_empty());
+    assert!(f.waived.is_empty());
+}
+
+#[test]
+fn d001_fixture_fires_once() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d001.rs"),
+    );
+    assert_fires_exactly_once(&f, Rule::D001);
+}
+
+#[test]
+fn d002_fixture_fires_once() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d002.rs"),
+    );
+    assert_fires_exactly_once(&f, Rule::D002);
+}
+
+#[test]
+fn d003_fixture_fires_once() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d003.rs"),
+    );
+    assert_fires_exactly_once(&f, Rule::D003);
+}
+
+#[test]
+fn d004_fixture_fires_once() {
+    let f = lint_fixture(
+        "crates/aggregate/src/fixture.rs",
+        include_str!("fixtures/d004.rs"),
+    );
+    assert_fires_exactly_once(&f, Rule::D004);
+}
+
+#[test]
+fn fixtures_only_fire_in_scope() {
+    // The same sources are clean when placed in crates the rules
+    // don't cover.
+    let d001 = lint_fixture(
+        "crates/runtime/src/fixture.rs",
+        include_str!("fixtures/d001.rs"),
+    );
+    assert!(d001.violations.is_empty(), "{:?}", d001.violations);
+    let d002 = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d002.rs"),
+    );
+    assert!(d002.violations.is_empty(), "{:?}", d002.violations);
+    let d004 = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d004.rs"),
+    );
+    assert!(d004.violations.is_empty(), "{:?}", d004.violations);
+}
+
+#[test]
+fn waiver_fixture_is_clean_and_tallied() {
+    let f = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/waiver.rs"),
+    );
+    assert!(f.violations.is_empty(), "{:?}", f.violations);
+    assert!(f.bad_waivers.is_empty());
+    assert_eq!(f.waived.len(), 1, "waivered site must appear in the tally");
+    assert_eq!(f.waived[0].rule, Rule::D001);
+    assert!(
+        f.waived[0].reason.contains("fixture"),
+        "tally must carry the reason text"
+    );
+}
+
+#[test]
+fn workspace_tree_lints_clean() {
+    // The acceptance gate: `cargo run -p gridagg-lint` over the real
+    // tree reports zero unwaivered violations.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let f = lint_tree(root).expect("scan workspace");
+    assert!(f.files_scanned > 30, "scan looks too small: {f:?}");
+    assert!(
+        f.violations.is_empty(),
+        "workspace must lint clean; found:\n{}",
+        gridagg_lint::render_report(&f)
+    );
+    assert!(
+        f.bad_waivers.is_empty(),
+        "malformed waivers:\n{}",
+        gridagg_lint::render_report(&f)
+    );
+    assert!(
+        !f.waived.is_empty(),
+        "the audited conv/experiment waivers should appear in the tally"
+    );
+}

@@ -1,0 +1,314 @@
+//! Deterministic ordered collections for protocol state.
+//!
+//! `std::collections::HashMap`/`HashSet` iterate in an order that
+//! depends on the hasher's per-process random state — harmless in most
+//! programs, fatal in a simulator whose every run must be byte-identical
+//! from its seed. Any protocol fold, gossip-body build, or trace dump
+//! that walks a hash map becomes a nondeterminism time bomb: it works
+//! until someone iterates, and the goldens break in a way that is
+//! invisible in review.
+//!
+//! [`DetMap`] and [`DetSet`] are thin newtypes over `BTreeMap`/`BTreeSet`
+//! exposing the `HashMap`/`HashSet` API subset the protocol crates use.
+//! Iteration order is the key's `Ord` — stable across runs, processes,
+//! and platforms. The in-repo linter (`gridagg-lint`, rule D001) bans
+//! the hash variants from protocol-state crates; this module is what
+//! code migrates to.
+//!
+//! The `O(log n)` vs `O(1)` per-op difference is irrelevant at protocol
+//! scale: these maps hold at most `K` child aggregates or one grid box
+//! of votes — a handful of entries (see DESIGN.md §11).
+
+use std::collections::{btree_map, BTreeMap, BTreeSet};
+
+/// Re-export of the B-tree entry API used by [`DetMap::entry`].
+pub use std::collections::btree_map::Entry;
+
+/// A deterministic map: `BTreeMap` behind a `HashMap`-shaped API subset.
+///
+/// Iteration order is ascending key order, identical on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetMap<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Insert a key-value pair, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Borrow the value for `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    /// Mutably borrow the value for `key`.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.inner.get_mut(key)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.inner.contains_key(key)
+    }
+
+    /// Remove `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    /// The in-place entry API (the B-tree flavor — same shape as the
+    /// hash-map one for the `Vacant`/`Occupied` match).
+    pub fn entry(&mut self, key: K) -> Entry<'_, K, V> {
+        self.inner.entry(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate entries in ascending key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterate keys in ascending order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterate values in ascending key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<K: Ord, V> Default for DetMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> std::ops::Index<&K> for DetMap<K, V> {
+    type Output = V;
+
+    /// # Panics
+    ///
+    /// Panics if `key` is absent, matching `HashMap`'s `Index`.
+    fn index(&self, key: &K) -> &V {
+        self.inner
+            .get(key)
+            .unwrap_or_else(|| panic!("DetMap: no entry for key"))
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+/// A deterministic set: `BTreeSet` behind a `HashSet`-shaped API subset.
+///
+/// Iteration order is ascending element order, identical on every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetSet<T> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// Create an empty set.
+    pub fn new() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Insert `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Whether `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.inner.contains(value)
+    }
+
+    /// Remove `value`; returns `true` if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        self.inner.remove(value)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Iterate elements in ascending order.
+    pub fn iter(&self) -> std::collections::btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<T: Ord> Default for DetSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::btree_set::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = std::collections::btree_set::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iteration_is_sorted_regardless_of_insertion_order() {
+        let mut a = DetMap::new();
+        for k in [5u32, 1, 9, 3, 7] {
+            a.insert(k, k * 10);
+        }
+        let mut b = DetMap::new();
+        for k in [9u32, 7, 5, 3, 1] {
+            b.insert(k, k * 10);
+        }
+        let ka: Vec<u32> = a.keys().copied().collect();
+        let kb: Vec<u32> = b.keys().copied().collect();
+        assert_eq!(ka, vec![1, 3, 5, 7, 9]);
+        assert_eq!(ka, kb, "iteration order must not depend on history");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_basic_ops_match_hash_map_semantics() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert("k", 1), None);
+        assert_eq!(m.insert("k", 2), Some(1));
+        assert_eq!(m.get(&"k"), Some(&2));
+        assert_eq!(m[&"k"], 2);
+        assert!(m.contains_key(&"k"));
+        *m.get_mut(&"k").unwrap() += 1;
+        assert_eq!(m.remove(&"k"), Some(3));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn map_entry_api_vacant_and_occupied() {
+        let mut m: DetMap<u8, Vec<u8>> = DetMap::new();
+        match m.entry(1) {
+            Entry::Vacant(v) => {
+                v.insert(vec![1]);
+            }
+            Entry::Occupied(_) => panic!("fresh key must be vacant"),
+        }
+        match m.entry(1) {
+            Entry::Occupied(mut o) => o.get_mut().push(2),
+            Entry::Vacant(_) => panic!("key must be occupied now"),
+        }
+        assert_eq!(m[&1], vec![1, 2]);
+    }
+
+    #[test]
+    fn set_iteration_is_sorted() {
+        let s: DetSet<u32> = [4u32, 2, 8, 6].into_iter().collect();
+        let got: Vec<u32> = s.iter().copied().collect();
+        assert_eq!(got, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn set_insert_contains_remove() {
+        let mut s = DetSet::new();
+        assert!(s.insert(7u32));
+        assert!(!s.insert(7), "duplicate insert reports false");
+        assert!(s.contains(&7));
+        assert!(s.remove(&7));
+        assert!(!s.remove(&7));
+        assert!(s.is_empty());
+    }
+}

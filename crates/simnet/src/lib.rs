@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod delay;
+pub mod detcol;
 pub mod loss;
 pub mod network;
 pub mod rng;

@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run --release --example periodic_monitoring`
 
-use gridagg::core::periodic::{run_periodic, VoteProcess};
+use gridagg::core::periodic::{run_periodic, EpochReport, VoteProcess};
 use gridagg::prelude::*;
 
 fn main() {
@@ -48,7 +48,7 @@ fn main() {
     }
     let max_err = epochs
         .iter()
-        .map(|e| e.tracking_error())
+        .map(EpochReport::tracking_error)
         .fold(0.0f64, f64::max);
     println!(
         "\nthe estimate follows a +1.5°/epoch drift with max error {max_err:.3}° while \n\

@@ -43,8 +43,9 @@ fn main() -> std::io::Result<()> {
     let sample = outcomes
         .iter()
         .find_map(|o| o.estimate.as_ref())
-        .map(|e| e.aggregate().map_or(f64::NAN, |a| a.summary()))
-        .unwrap_or(f64::NAN);
+        .map_or(f64::NAN, |e| {
+            e.aggregate().map_or(f64::NAN, Aggregate::summary)
+        });
     let max_rounds = outcomes.iter().map(|o| o.rounds).max().unwrap_or(0);
 
     println!("finished members    : {finished}/{n}");
