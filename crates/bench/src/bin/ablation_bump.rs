@@ -6,27 +6,38 @@
 //! paper-literal single-value push (see DESIGN.md).
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
+
+const VARIANTS: [(&str, bool, bool); 4] = [
+    ("batch + early bump (default)", true, true),
+    ("batch, synchronous phases", false, true),
+    ("one-value push + early bump", true, false),
+    ("one-value push, synchronous", false, false),
+];
 
 fn main() {
-    let mut rows = Vec::new();
-    let mut incs = Vec::new();
-    for (label, early, batch) in [
-        ("batch + early bump (default)", true, true),
-        ("batch, synchronous phases", false, true),
-        ("one-value push + early bump", true, false),
-        ("one-value push, synchronous", false, false),
-    ] {
+    let mut sweep = Sweep::new();
+    for (label, early, batch) in VARIANTS {
         let mut cfg = ExperimentConfig::paper_defaults();
         cfg.early_bump = early;
         cfg.batch_exchange = batch;
-        let reports = run_many(runs(), base_seed(), |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        // deliberately the same seeds for every variant: paired runs
+        sweep.push_seeded(
+            &format!("ablation_bump/{label}"),
+            runs(),
+            base_seed(),
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("ablation_bump");
+    let mut rows = Vec::new();
+    let mut incs = Vec::new();
+    for ((label, _, _), point) in VARIANTS.into_iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         incs.push(s.mean_incompleteness);
         rows.push(vec![
             label.to_string(),

@@ -8,23 +8,31 @@
 //! protocol running time" (§6.3).
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let delays = [1u64, 2, 3, 4];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &d) in delays.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults();
         cfg.max_delay = Some(d);
-        // give the engine room for stretched schedules
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(
+            &format!("ablation_delay/d={d}"),
+            runs(),
+            base,
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("ablation_delay");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&d, point) in delays.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             d.to_string(),

@@ -8,22 +8,31 @@
 //! (Figure 8's axis).
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let fanouts = [1u32, 2, 3, 4];
-    let mut rows = Vec::new();
-    let mut incs = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &m) in fanouts.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults();
         cfg.fanout = m;
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(
+            &format!("ablation_fanout/m={m}"),
+            runs(),
+            base,
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("ablation_fanout");
+    let mut rows = Vec::new();
+    let mut incs = Vec::new();
+    for (&m, point) in fanouts.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         incs.push(s.mean_incompleteness);
         rows.push(vec![
             m.to_string(),

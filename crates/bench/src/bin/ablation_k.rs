@@ -6,22 +6,28 @@
 //! `K = 4` sits in the sweet spot at `N = 200`.
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let ks = [2u8, 4, 8, 16];
-    let mut rows = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &k) in ks.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults();
         cfg.k = k;
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(&format!("ablation_k/k={k}"), runs(), base, move |seed| {
             run_hiergossip::<Average>(&cfg, seed)
         });
-        let s = summarize(&reports);
-        let phases = gridagg_analysis::phases(cfg.n, k);
+    }
+    let reports = sweep.run_or_exit("ablation_k");
+    let mut rows = Vec::new();
+    for (&k, point) in ks.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
+        let phases = gridagg_analysis::phases(ExperimentConfig::paper_defaults().n, k);
         rows.push(vec![
             k.to_string(),
             phases.to_string(),

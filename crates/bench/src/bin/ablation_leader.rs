@@ -8,46 +8,52 @@
 //! Gossiping.
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::baselines::LeaderElectionConfig;
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::{run_hiergossip, run_leader_election};
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let pfs = [0.0f64, 0.001, 0.002, 0.005, 0.01];
-    let mut rows = Vec::new();
-    let mut worst = (0.0f64, 0.0f64); // (leader1 inc, hier inc) at max pf
+    let mut sweep = Sweep::new();
     for (i, &pf) in pfs.iter().enumerate() {
         let cfg = {
             let mut c = ExperimentConfig::paper_defaults().with_n(256);
             c.pf = pf;
             c
         };
+        // same seeds for all three protocols at each pf: paired runs
         let seed = base_seed() + (i as u64) * 10_000;
-        let hier = summarize(&run_many(runs(), seed, |s| {
-            run_hiergossip::<Average>(&cfg, s)
-        }));
-        let leader1 = summarize(&run_many(runs(), seed, |s| {
-            run_leader_election::<Average>(
-                &cfg,
-                LeaderElectionConfig {
-                    committee: 1,
-                    ..Default::default()
-                },
-                s,
-            )
-        }));
-        let leader3 = summarize(&run_many(runs(), seed, |s| {
-            run_leader_election::<Average>(
-                &cfg,
-                LeaderElectionConfig {
-                    committee: 3,
-                    ..Default::default()
-                },
-                s,
-            )
-        }));
+        sweep.push_seeded(
+            &format!("ablation_leader/pf={pf}/hiergossip"),
+            runs(),
+            seed,
+            move |s| run_hiergossip::<Average>(&cfg, s),
+        );
+        for committee in [1usize, 3] {
+            let label = format!("ablation_leader/pf={pf}/leader{committee}");
+            sweep.push_seeded(&label, runs(), seed, move |s| {
+                run_leader_election::<Average>(
+                    &cfg,
+                    LeaderElectionConfig {
+                        committee,
+                        ..Default::default()
+                    },
+                    s,
+                )
+            });
+        }
+    }
+    let reports = sweep.run_or_exit("ablation_leader");
+    let mut points = reports.chunks(runs());
+    let mut rows = Vec::new();
+    let mut worst = (0.0f64, 0.0f64); // (leader1 inc, hier inc) at max pf
+    for &pf in &pfs {
+        let hier = summarize(points.next().expect("hiergossip slice"));
+        let leader1 = summarize(points.next().expect("leader1 slice"));
+        let leader3 = summarize(points.next().expect("leader3 slice"));
         if pf == 0.01 {
             worst = (leader1.mean_incompleteness, hier.mean_incompleteness);
         }

@@ -10,23 +10,32 @@
 //! estimates off by up to 4x in either direction.
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let n = 200usize;
     let estimates: [usize; 5] = [50, 100, 200, 400, 800];
-    let mut rows = Vec::new();
-    let mut worst: f64 = 0.0;
+    let mut sweep = Sweep::new();
     for (i, &est) in estimates.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
         cfg.n_estimate = Some(est);
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(
+            &format!("ablation_nestimate/est={est}"),
+            runs(),
+            base,
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("ablation_nestimate");
+    let mut rows = Vec::new();
+    let mut worst: f64 = 0.0;
+    for (&est, point) in estimates.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         worst = worst.max(s.mean_incompleteness);
         rows.push(vec![
             est.to_string(),

@@ -11,28 +11,38 @@
 //! splits, Figure 3).
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
-use gridagg_core::run_many;
 use gridagg_core::runner::run_hiergossip;
+
+const VARIANTS: [(&str, bool); 2] = [("fair hash", false), ("topo-aware", true)];
 
 fn main() {
     let n = 256usize;
-    let mut rows = Vec::new();
-    let mut shares = Vec::new();
-    let mut hops = Vec::new();
-    for (label, topo) in [("fair hash", false), ("topo-aware", true)] {
+    let r = runs().min(10);
+    let mut sweep = Sweep::new();
+    for (label, topo) in VARIANTS {
         let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
         cfg.topo_aware = topo;
         cfg.positioned = true; // same field for both, for load accounting
-        let reports = run_many(runs().min(10), base_seed(), |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
+        sweep.push_seeded(
+            &format!("ablation_topo/{label}"),
+            r,
+            base_seed(),
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let all = sweep.run_or_exit("ablation_topo");
+    let mut rows = Vec::new();
+    let mut shares = Vec::new();
+    let mut hops = Vec::new();
+    for ((label, _), reports) in VARIANTS.into_iter().zip(all.chunks(r)) {
         let mut sent = 0u64;
         let mut total_hops = 0u64;
         let mut far = 0.0;
         let mut inc = 0.0;
-        for r in &reports {
+        for r in reports {
             sent += r.net.sent;
             total_hops += r.net.total_hops;
             far += r.net.long_haul_share(4);

@@ -8,23 +8,33 @@
 //! views once views cover a reasonable fraction of the group.
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let n = 200usize;
     let views: [Option<usize>; 5] = [Some(25), Some(50), Some(100), Some(150), None];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &view) in views.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
         cfg.partial_view = view;
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        let base = base_seed() + (i as u64) * 10_000;
+        let label = view.map_or("complete".to_string(), |v| v.to_string());
+        sweep.push_seeded(
+            &format!("ablation_views/view={label}"),
+            runs(),
+            base,
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("ablation_views");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&view, point) in views.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             view.map_or("complete".to_string(), |v| v.to_string()),

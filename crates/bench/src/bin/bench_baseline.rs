@@ -1,8 +1,9 @@
 //! Deterministic benchmark baseline for the five protocols.
 //!
 //! Times a single simulated run of each protocol at N ∈ {256, 1024,
-//! 4096} and records, next to the (machine-dependent) wall-clock mean,
-//! the **deterministic proxy counters** that make the result comparable
+//! 4096} — plus N = 16384 for every protocol except `flood` — and
+//! records, next to the (machine-dependent) wall-clock mean, the
+//! **deterministic proxy counters** that make the result comparable
 //! across machines: messages sent, bytes encoded on the wire, peak
 //! in-flight envelopes, deliveries, rounds, and the heap-allocation
 //! count of one run (measured with a counting global allocator).
@@ -12,21 +13,35 @@
 //! which is what lets CI gate on them with a 0% tolerance while
 //! treating wall-clock as informational.
 //!
+//! Cells execute on the [`gridagg_bench::sweep`] worker pool. The
+//! allocation counter is **per-thread** (each cell runs wholly on one
+//! worker), so `allocs_single_run` is exact at any `--jobs`, and the
+//! output cells are merged in declaration order, so the JSON is
+//! byte-identical whether one worker ran or eight did.
+//!
 //! Usage:
 //!
 //! * `bench_baseline` — measure and write `results/BENCH_protocols.json`
 //!   (`GRIDAGG_OUT` overrides the directory; `GRIDAGG_RUNS` caps timed
 //!   iterations per cell, so `GRIDAGG_RUNS=2` keeps a CI smoke run
 //!   cheap; `GRIDAGG_SEED` sets the seed).
+//! * `bench_baseline --jobs <J>` — run cells on `J` workers
+//!   (`GRIDAGG_JOBS` works too; default: all cores).
+//! * `bench_baseline --proxies-only` — skip wall-clock sampling and
+//!   zero the machine-dependent fields (`wall_secs_mean`,
+//!   `timed_iters`), making the whole output file deterministic — this
+//!   is what the CI parallel-determinism gate byte-diffs across
+//!   `--jobs` values.
 //! * `bench_baseline --check <path>` — additionally compare the
 //!   deterministic counters against a committed baseline JSON and exit
 //!   non-zero if `messages_sent` or `bytes_sent` increased for any
 //!   cell.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell as StdCell;
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, bench_budget_ms, print_table, runs, time_mean, write_json};
 use gridagg_core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
 use gridagg_core::config::ExperimentConfig;
@@ -40,13 +55,26 @@ use gridagg_core::RunReport;
 /// allocator. The count is a deterministic proxy for hot-path churn:
 /// two binaries built from the same tree report the same number for the
 /// same `(protocol, N, seed)` cell.
+///
+/// The counter is per-thread so concurrent sweep cells never bleed into
+/// each other's counts: a cell runs start-to-finish on one worker, and
+/// [`allocs_now`] reads that worker's own tally. `const`-initialized
+/// `Cell<u64>` TLS performs no lazy allocation and has no destructor,
+/// so touching it inside the allocator cannot recurse.
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: StdCell<u64> = const { StdCell::new(0) };
+}
+
+/// This thread's allocation count so far.
+fn allocs_now() -> u64 {
+    ALLOCS.try_with(StdCell::get).unwrap_or(0)
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -55,7 +83,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -64,6 +92,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 const SIZES: [usize; 3] = [256, 1024, 4096];
+
+/// The large-grid extension: every protocol except `flood`, whose
+/// O(N²) message complexity is pathological at this size.
+const BIG_N: usize = 16384;
 
 /// One `(protocol, N)` measurement.
 struct Cell {
@@ -126,20 +158,31 @@ impl ToJson for Baseline {
     }
 }
 
-fn measure(protocol: &'static str, n: usize, seed: u64, run: impl Fn() -> RunReport) -> Cell {
+fn measure(
+    protocol: &'static str,
+    n: usize,
+    seed: u64,
+    timing: bool,
+    run: impl Fn() -> RunReport,
+) -> Cell {
     // One instrumented run yields the deterministic proxies and the
     // allocation count; only then is the wall clock sampled.
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs_now();
     let report = run();
-    let allocs_single_run = ALLOCS.load(Ordering::Relaxed) - before;
-    let (per, timed_iters) = time_mean(bench_budget_ms(), runs() as u32, || {
-        std::hint::black_box(run());
-    });
+    let allocs_single_run = allocs_now() - before;
+    let (wall_secs_mean, timed_iters) = if timing {
+        let (per, iters) = time_mean(bench_budget_ms(), runs() as u32, || {
+            std::hint::black_box(run());
+        });
+        (per.as_secs_f64(), iters)
+    } else {
+        (0.0, 0)
+    };
     Cell {
         protocol,
         n,
         seed,
-        wall_secs_mean: per.as_secs_f64(),
+        wall_secs_mean,
         timed_iters,
         rounds: report.rounds,
         messages_sent: report.net.sent,
@@ -150,29 +193,56 @@ fn measure(protocol: &'static str, n: usize, seed: u64, run: impl Fn() -> RunRep
     }
 }
 
-fn measure_all(seed: u64) -> Vec<Cell> {
-    let mut cells = Vec::new();
-    for n in SIZES {
-        let cfg = ExperimentConfig::paper_defaults().with_n(n);
-        cfg.validate().expect("paper defaults are valid");
-        eprintln!("measuring N={n} ...");
-        cells.push(measure("hiergossip", n, seed, || {
+/// Queue one `(protocol, n)` cell; `flood: false` drops the quadratic
+/// protocol from large grids.
+fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool, flood: bool) {
+    let cfg = ExperimentConfig::paper_defaults().with_n(n);
+    cfg.validate().expect("paper defaults are valid");
+    sweep.push(format!("hiergossip/n={n}"), move || {
+        measure("hiergossip", n, seed, timing, || {
             run_hiergossip::<Average>(&cfg, seed)
-        }));
-        cells.push(measure("flatgossip", n, seed, || {
+        })
+    });
+    sweep.push(format!("flatgossip/n={n}"), move || {
+        measure("flatgossip", n, seed, timing, || {
             run_flatgossip::<Average>(&cfg, seed)
-        }));
-        cells.push(measure("flood", n, seed, || {
-            run_flood::<Average>(&cfg, FloodConfig::default(), seed)
-        }));
-        cells.push(measure("centralized", n, seed, || {
-            run_centralized::<Average>(&cfg, CentralizedConfig::for_group(n), seed)
-        }));
-        cells.push(measure("leader", n, seed, || {
-            run_leader_election::<Average>(&cfg, LeaderElectionConfig::default(), seed)
-        }));
+        })
+    });
+    if flood {
+        sweep.push(format!("flood/n={n}"), move || {
+            measure("flood", n, seed, timing, || {
+                run_flood::<Average>(&cfg, FloodConfig::default(), seed)
+            })
+        });
     }
-    cells
+    sweep.push(format!("centralized/n={n}"), move || {
+        measure("centralized", n, seed, timing, || {
+            run_centralized::<Average>(&cfg, CentralizedConfig::for_group(n), seed)
+        })
+    });
+    sweep.push(format!("leader/n={n}"), move || {
+        measure("leader", n, seed, timing, || {
+            run_leader_election::<Average>(&cfg, LeaderElectionConfig::default(), seed)
+        })
+    });
+}
+
+fn measure_all(seed: u64, timing: bool) -> Vec<Cell> {
+    let mut sweep = Sweep::new();
+    for n in SIZES {
+        queue_cells(&mut sweep, n, seed, timing, true);
+    }
+    eprintln!(
+        "skipping flood at N={BIG_N}: O(N^2) messages is pathological at this size \
+         (every other protocol gets an N={BIG_N} cell)"
+    );
+    queue_cells(&mut sweep, BIG_N, seed, timing, false);
+    eprintln!(
+        "measuring {} cells on {} worker(s) ...",
+        sweep.len(),
+        gridagg_bench::sweep::jobs()
+    );
+    sweep.run_or_exit("bench_baseline")
 }
 
 fn millis(secs: f64) -> String {
@@ -295,6 +365,7 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
 
 fn main() {
     let mut check_path = None;
+    let mut timing = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -304,8 +375,20 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--proxies-only" => timing = false,
+            // consumed here; the sweep executor re-reads it from argv
+            "--jobs" => {
+                if args.next().is_none() {
+                    eprintln!("bench_baseline: expected a worker count after --jobs");
+                    std::process::exit(2);
+                }
+            }
+            other if other.starts_with("--jobs=") => {}
             other => {
-                eprintln!("bench_baseline: unknown argument {other:?} (expected --check <path>)");
+                eprintln!(
+                    "bench_baseline: unknown argument {other:?} \
+                     (expected --check <path>, --jobs <J>, --proxies-only)"
+                );
                 std::process::exit(2);
             }
         }
@@ -313,7 +396,7 @@ fn main() {
 
     let seed = base_seed();
     let baseline = Baseline {
-        cells: measure_all(seed),
+        cells: measure_all(seed, timing),
     };
     report_table(&baseline.cells);
     write_json("BENCH_protocols.json", &baseline);

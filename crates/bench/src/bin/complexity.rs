@@ -11,39 +11,56 @@
 //! network (completeness), for doubling group sizes.
 
 use gridagg_aggregate::Average;
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::*;
-use gridagg_core::{run_many, summarize, Summary};
+use gridagg_core::{summarize, RunReport};
 
-fn measure(cfg: &ExperimentConfig, seed: u64, which: &str) -> Summary {
+fn run_protocol(cfg: &ExperimentConfig, which: &str, seed: u64) -> RunReport {
     let n = cfg.n;
-    let r = runs().min(10);
-    let reports = run_many(r, seed, |s| match which {
-        "hiergossip" => run_hiergossip::<Average>(cfg, s),
-        "flood" => run_flood::<Average>(cfg, FloodConfig::default(), s),
-        "centralized" => run_centralized::<Average>(cfg, CentralizedConfig::for_group(n), s),
-        "leader" => run_leader_election::<Average>(cfg, LeaderElectionConfig::default(), s),
-        "flatgossip" => run_flatgossip::<Average>(cfg, s),
+    match which {
+        "hiergossip" => run_hiergossip::<Average>(cfg, seed),
+        "flood" => run_flood::<Average>(cfg, FloodConfig::default(), seed),
+        "centralized" => run_centralized::<Average>(cfg, CentralizedConfig::for_group(n), seed),
+        "leader" => run_leader_election::<Average>(cfg, LeaderElectionConfig::default(), seed),
+        "flatgossip" => run_flatgossip::<Average>(cfg, seed),
         other => unreachable!("unknown protocol {other}"),
-    });
-    summarize(&reports)
+    }
 }
 
 fn main() {
     let protocols = ["hiergossip", "leader", "centralized", "flood", "flatgossip"];
     let ns = [64usize, 128, 256, 512, 1024];
+    let losses = [("zero loss", 0.0, 0.0), ("lossy (defaults)", 0.25, 0.001)];
+    let r = runs().min(10);
 
-    for (loss_label, ucastl, pf) in [("zero loss", 0.0, 0.0), ("lossy (defaults)", 0.25, 0.001)] {
-        let mut rows = Vec::new();
+    // Queue the whole (loss x N x protocol x seed) grid as one sweep,
+    // then consume the reports in the same declaration order below.
+    let mut sweep = Sweep::new();
+    for &(_, ucastl, pf) in &losses {
         for &n in &ns {
             let mut cfg = ExperimentConfig::paper_defaults()
                 .with_n(n)
                 .with_ucastl(ucastl);
             cfg.pf = pf;
             for which in protocols {
-                let s = measure(&cfg, base_seed(), which);
+                let label = format!("complexity/ucastl={ucastl}/n={n}/{which}");
+                sweep.push_seeded(&label, r, base_seed(), move |seed| {
+                    run_protocol(&cfg, which, seed)
+                });
+            }
+        }
+    }
+    let reports = sweep.run_or_exit("complexity");
+    let mut points = reports.chunks(r);
+
+    for (loss_label, ucastl, _pf) in losses {
+        let mut rows = Vec::new();
+        for &n in &ns {
+            for which in protocols {
+                let s = summarize(points.next().expect("one report slice per grid point"));
                 rows.push(vec![
                     n.to_string(),
                     which.to_string(),

@@ -6,21 +6,30 @@
 
 use gridagg_aggregate::Average;
 use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, is_decreasing_noisy, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let losses = [0.7f64, 0.6, 0.5, 0.4, 0.25];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &ucastl) in losses.iter().enumerate() {
         let cfg = ExperimentConfig::paper_defaults().with_ucastl(ucastl);
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
-            run_hiergossip::<Average>(&cfg, seed)
-        });
-        let s = summarize(&reports);
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(
+            &format!("fig07/ucastl={ucastl}"),
+            runs(),
+            base,
+            move |seed| run_hiergossip::<Average>(&cfg, seed),
+        );
+    }
+    let reports = sweep.run_or_exit("fig07");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&ucastl, point) in losses.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             format!("{ucastl}"),

@@ -6,21 +6,27 @@
 
 use gridagg_aggregate::Average;
 use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, is_decreasing, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let rounds_per_phase = [1u32, 2, 3, 4, 5];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &rpp) in rounds_per_phase.iter().enumerate() {
         let cfg = ExperimentConfig::paper_defaults().with_rounds_per_phase(rpp);
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(&format!("fig08/rpp={rpp}"), runs(), base, move |seed| {
             run_hiergossip::<Average>(&cfg, seed)
         });
-        let s = summarize(&reports);
+    }
+    let reports = sweep.run_or_exit("fig08");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&rpp, point) in rounds_per_phase.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             rpp.to_string(),

@@ -7,21 +7,27 @@
 
 use gridagg_aggregate::Average;
 use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let partls = [0.5f64, 0.55, 0.6, 0.65, 0.7];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &partl) in partls.iter().enumerate() {
         let cfg = ExperimentConfig::paper_defaults().with_partl(partl);
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(&format!("fig09/partl={partl}"), runs(), base, move |seed| {
             run_hiergossip::<Average>(&cfg, seed)
         });
-        let s = summarize(&reports);
+    }
+    let reports = sweep.run_or_exit("fig09");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&partl, point) in partls.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             format!("{partl}"),

@@ -6,21 +6,27 @@
 
 use gridagg_aggregate::Average;
 use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, is_decreasing_noisy, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let pfs = [0.008f64, 0.006, 0.004, 0.002, 0.001];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
+    let mut sweep = Sweep::new();
     for (i, &pf) in pfs.iter().enumerate() {
         let cfg = ExperimentConfig::paper_defaults().with_pf(pf);
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(&format!("fig10/pf={pf}"), runs(), base, move |seed| {
             run_hiergossip::<Average>(&cfg, seed)
         });
-        let s = summarize(&reports);
+    }
+    let reports = sweep.run_or_exit("fig10");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    for (&pf, point) in pfs.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         series.push(s.mean_incompleteness);
         rows.push(vec![
             format!("{pf}"),

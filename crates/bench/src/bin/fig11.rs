@@ -6,26 +6,32 @@
 
 use gridagg_aggregate::Average;
 use gridagg_bench::plot::{Plot, PlotSeries, Scale};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{base_seed, print_table, runs, sci, write_csv};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::run_hiergossip;
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn main() {
     let ns = [300usize, 400, 500, 600];
-    let mut rows = Vec::new();
-    let mut series = Vec::new();
-    let mut ok = true;
+    let mut sweep = Sweep::new();
     for (i, &n) in ns.iter().enumerate() {
         let mut cfg = ExperimentConfig::paper_defaults()
             .with_n(n)
             .with_ucastl(0.0);
         cfg.pf = 0.0;
         cfg.round_factor = 1.4;
-        let reports = run_many(runs(), base_seed() + (i as u64) * 10_000, |seed| {
+        let base = base_seed() + (i as u64) * 10_000;
+        sweep.push_seeded(&format!("fig11/n={n}"), runs(), base, move |seed| {
             run_hiergossip::<Average>(&cfg, seed)
         });
-        let s = summarize(&reports);
+    }
+    let reports = sweep.run_or_exit("fig11");
+    let mut rows = Vec::new();
+    let mut series = Vec::new();
+    let mut ok = true;
+    for (&n, point) in ns.iter().zip(reports.chunks(runs())) {
+        let s = summarize(point);
         let bound = 1.0 / n as f64;
         series.push(s.mean_incompleteness);
         ok &= s.mean_incompleteness <= bound;

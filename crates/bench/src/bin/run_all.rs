@@ -1,16 +1,26 @@
 //! `run_all` — regenerate the entire evaluation in one command.
 //!
-//! Invokes every figure, the complexity table, and every ablation in
-//! sequence (in-process, not by spawning binaries), honouring the same
-//! `GRIDAGG_RUNS` / `GRIDAGG_SEED` / `GRIDAGG_OUT` environment knobs.
-//! Equivalent to running each `figNN` / `ablation_*` binary, for CI and
-//! EXPERIMENTS.md refreshes:
+//! Invokes every figure, the complexity table, and every ablation,
+//! honouring the same `GRIDAGG_RUNS` / `GRIDAGG_SEED` / `GRIDAGG_OUT`
+//! environment knobs. Equivalent to running each `figNN` /
+//! `ablation_*` binary, for CI and EXPERIMENTS.md refreshes:
 //!
 //! ```console
 //! $ GRIDAGG_RUNS=40 cargo run --release -p gridagg-bench --bin run_all
 //! ```
+//!
+//! Sub-binaries run concurrently on the sweep worker pool (`--jobs` /
+//! `GRIDAGG_JOBS`); their output is captured and replayed in
+//! declaration order, so the console transcript is identical however
+//! many workers ran. When more than one worker is active, children are
+//! pinned to `GRIDAGG_JOBS=1` — the parallelism budget is spent here,
+//! across binaries, not inside each one. Binaries that fail are
+//! reported together at the end and make `run_all` exit non-zero.
 
+use std::io::Write as _;
 use std::process::Command;
+
+use gridagg_bench::sweep::{jobs, Sweep};
 
 const BINARIES: &[&str] = &[
     "fig04",
@@ -37,20 +47,43 @@ fn main() {
     // run sibling binaries from the same build directory so `run_all`
     // works both via `cargo run` and from a plain target/ directory
     let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("binary directory");
-    let mut failures = Vec::new();
+    let dir = me.parent().expect("binary directory").to_path_buf();
+    let jobs = jobs();
+
+    let mut sweep = Sweep::new();
     for bin in BINARIES {
-        println!("\n########## {bin} ##########");
         let path = dir.join(bin);
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{bin} exited with {s}");
-                failures.push(*bin);
+        sweep.push(*bin, move || {
+            let mut cmd = Command::new(&path);
+            if jobs > 1 {
+                cmd.env("GRIDAGG_JOBS", "1");
+            }
+            cmd.output()
+        });
+    }
+    let outputs = sweep.run_or_exit("run_all");
+
+    let mut failures = Vec::new();
+    for (bin, result) in BINARIES.iter().zip(outputs) {
+        println!("\n########## {bin} ##########");
+        match result {
+            Ok(out) => {
+                std::io::stdout()
+                    .write_all(&out.stdout)
+                    .expect("replay stdout");
+                std::io::stderr()
+                    .write_all(&out.stderr)
+                    .expect("replay stderr");
+                if !out.status.success() {
+                    eprintln!("{bin} exited with {}", out.status);
+                    failures.push(*bin);
+                }
             }
             Err(e) => {
-                eprintln!("could not run {} ({e}); build it first with `cargo build --release -p gridagg-bench`", path.display());
+                eprintln!(
+                    "could not run {} ({e}); build it first with `cargo build --release -p gridagg-bench`",
+                    dir.join(bin).display()
+                );
                 failures.push(*bin);
             }
         }

@@ -18,19 +18,33 @@
 
 use gridagg_aggregate::wire::WireAggregate;
 use gridagg_aggregate::{Average, Count, Histogram16, Max, MeanVar, Min, Sum, TopK};
+use gridagg_bench::sweep::Sweep;
 use gridagg_bench::{print_table, sci};
 use gridagg_core::baselines::{CentralizedConfig, FloodConfig, LeaderElectionConfig};
 use gridagg_core::config::ExperimentConfig;
 use gridagg_core::runner::{
     run_centralized, run_flatgossip, run_flood, run_hiergossip, run_leader_election,
 };
-use gridagg_core::{run_many, summarize};
+use gridagg_core::summarize;
 
 fn parse_args() -> Result<std::collections::BTreeMap<String, String>, String> {
     let mut map = std::collections::BTreeMap::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--help" || arg == "-h" || arg == "help" {
             return Err("help".to_string());
+        }
+        // worker-count flag, consumed by the sweep executor (which
+        // re-reads argv); tolerated here so `--jobs 4` composes with
+        // the key=value grammar
+        if arg == "--jobs" {
+            if args.next().is_none() {
+                return Err("expected a worker count after --jobs".to_string());
+            }
+            continue;
+        }
+        if arg.starts_with("--jobs=") {
+            continue;
         }
         let Some((k, v)) = arg.split_once('=') else {
             return Err(format!("argument `{arg}` is not key=value"));
@@ -61,21 +75,27 @@ fn run<A: WireAggregate>(
     seed: u64,
 ) -> Result<(), String> {
     let committee: usize = get(args, "committee")?.unwrap_or(1);
-    let reports = run_many(runs, seed, |s| match protocol {
-        "hiergossip" => run_hiergossip::<A>(cfg, s),
-        "flood" => run_flood::<A>(cfg, FloodConfig::default(), s),
-        "centralized" => run_centralized::<A>(cfg, CentralizedConfig::for_group(cfg.n), s),
-        "leader" => run_leader_election::<A>(
-            cfg,
-            LeaderElectionConfig {
-                committee,
-                ..Default::default()
-            },
-            s,
-        ),
-        "flatgossip" => run_flatgossip::<A>(cfg, s),
-        other => panic!("unknown protocol `{other}`"),
+    let cfg = *cfg;
+    let protocol_owned = protocol.to_string();
+    let mut sweep = Sweep::new();
+    sweep.push_seeded(protocol, runs, seed, move |s| {
+        match protocol_owned.as_str() {
+            "hiergossip" => run_hiergossip::<A>(&cfg, s),
+            "flood" => run_flood::<A>(&cfg, FloodConfig::default(), s),
+            "centralized" => run_centralized::<A>(&cfg, CentralizedConfig::for_group(cfg.n), s),
+            "leader" => run_leader_election::<A>(
+                &cfg,
+                LeaderElectionConfig {
+                    committee,
+                    ..Default::default()
+                },
+                s,
+            ),
+            "flatgossip" => run_flatgossip::<A>(&cfg, s),
+            other => panic!("unknown protocol `{other}`"),
+        }
     });
+    let reports = sweep.run_or_exit("run_experiment");
     let s = summarize(&reports);
     print_table(
         &format!(
@@ -114,7 +134,7 @@ fn main() {
     }
 }
 
-const HELP: &str = "usage: run_experiment [key=value ...] — see the module docs; \
+const HELP: &str = "usage: run_experiment [key=value ...] [--jobs J] — see the module docs; \
 keys: protocol aggregate n k m c rounds_per_phase ucastl partl pf runs seed \
 committee partial_view n_estimate start_spread max_delay topo early_bump batch";
 

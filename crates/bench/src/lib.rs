@@ -16,6 +16,8 @@
 //!   paper average "several runs").
 //! * `GRIDAGG_SEED` — base seed (default 2001).
 //! * `GRIDAGG_OUT` — output directory for CSVs (default `results`).
+//! * `GRIDAGG_JOBS` — sweep worker threads (default: all cores); the
+//!   `--jobs N` flag takes precedence. See [`sweep`].
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
@@ -23,6 +25,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 pub mod plot;
+pub mod sweep;
 
 /// Runs per sweep point (`GRIDAGG_RUNS`, default 40).
 pub fn runs() -> usize {

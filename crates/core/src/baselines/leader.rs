@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
-use gridagg_hierarchy::Addr;
-use gridagg_simnet::detcol::{DetMap, DetSet};
+use gridagg_hierarchy::{Addr, AddrInterner, AddrSlab};
+use gridagg_simnet::detcol::DetSet;
 use gridagg_simnet::rng::splitmix64;
 use gridagg_simnet::Round;
 
@@ -67,7 +67,10 @@ fn election_key(salt: u64, id: MemberId) -> u64 {
 /// view; sharing it is a simulation-level optimisation).
 #[derive(Debug)]
 pub struct LeaderDirectory {
-    committees: DetMap<Addr, Vec<MemberId>>,
+    /// Committees indexed by interned prefix id (empty Vec = empty
+    /// subtree). Dense: the prefix universe is fixed and small.
+    committees: Vec<Vec<MemberId>>,
+    interner: AddrInterner,
 }
 
 impl LeaderDirectory {
@@ -75,7 +78,8 @@ impl LeaderDirectory {
     pub fn build(index: &ScopeIndex, cfg: &LeaderElectionConfig) -> Arc<Self> {
         let h = *index.hierarchy();
         let k_prime = cfg.committee.max(1);
-        let mut committees: DetMap<Addr, Vec<MemberId>> = DetMap::new();
+        let interner = index.interner().clone();
+        let mut committees: Vec<Vec<MemberId>> = vec![Vec::new(); interner.len()];
         let pick = |mut cands: Vec<MemberId>| -> Vec<MemberId> {
             cands.sort_unstable_by_key(|&m| (election_key(cfg.salt, m), m));
             cands.truncate(k_prime);
@@ -86,32 +90,36 @@ impl LeaderDirectory {
             let addr = h.box_at(b);
             let members = index.members_in(&addr).to_vec();
             if !members.is_empty() {
-                committees.insert(addr, pick(members));
+                committees[interner.intern(&addr) as usize] = pick(members);
             }
         }
         // then every ancestor level, from the committees one level down
         for len in (0..h.depth()).rev() {
-            let prefixes: Vec<Addr> = (0..(h.k() as u64).pow(len as u32))
-                .map(|i| Addr::from_index(h.k(), len, i).expect("valid prefix"))
-                .collect();
-            for p in prefixes {
+            for i in 0..(h.k() as u64).pow(len as u32) {
+                let p = Addr::from_index(h.k(), len, i).expect("valid prefix");
                 let cands: Vec<MemberId> = p
                     .children()
-                    .filter_map(|c| committees.get(&c))
-                    .flatten()
+                    .flat_map(|c| committees[interner.intern(&c) as usize].iter())
                     .copied()
                     .collect();
                 if !cands.is_empty() {
-                    committees.insert(p, pick(cands));
+                    committees[interner.intern(&p) as usize] = pick(cands);
                 }
             }
         }
-        Arc::new(LeaderDirectory { committees })
+        Arc::new(LeaderDirectory {
+            committees,
+            interner,
+        })
     }
 
     /// The committee of a prefix (empty slice for empty subtrees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix` is outside the hierarchy's prefix universe.
     pub fn committee(&self, prefix: &Addr) -> &[MemberId] {
-        self.committees.get(prefix).map_or(&[], |v| v.as_slice())
+        &self.committees[self.interner.intern(prefix) as usize]
     }
 
     /// Whether `id` sits on the committee of `prefix`.
@@ -133,8 +141,10 @@ pub struct LeaderElection<A> {
     /// votes gathered as a box-committee member
     votes: Vec<(MemberId, f64)>,
     have_vote: DetSet<u32>,
-    /// child-subtree aggregates gathered as a committee member
-    aggs: DetMap<Addr, Tagged<A>>,
+    /// child-subtree aggregates gathered as a committee member, in a
+    /// dense chain-local slab (every key is a prefix of `my_box` or a
+    /// child of one — O(1) slot lookups, address-ordered iteration)
+    aggs: AddrSlab<Tagged<A>>,
     /// `Arc`-shared: the final result fans out along the tree, so every
     /// forwarded `Final` is a reference-count bump, not a deep clone.
     result: Option<Arc<Tagged<A>>>,
@@ -164,7 +174,7 @@ impl<A: Aggregate> LeaderElection<A> {
             my_box,
             votes: vec![(me, vote)],
             have_vote,
-            aggs: DetMap::new(),
+            aggs: AddrSlab::new(my_box),
             result: None,
             done_at: None,
             estimate: None,
@@ -343,7 +353,9 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                 }
             }
             Payload::Agg { subtree, agg } => {
-                if subtree.parent().is_some_and(|p| p.contains(&self.my_box)) {
+                // a child of one of my ancestors — exactly the slab's
+                // slot condition, minus the never-gossiped root
+                if !subtree.is_empty() && self.aggs.slot(&subtree).is_some() {
                     // Addr consistency: an adopted child aggregate must
                     // only cover that child's members (see DESIGN.md §11).
                     #[cfg(feature = "strict-invariants")]
@@ -357,14 +369,14 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                              member outside that subtree"
                         );
                     }
-                    let mut inserted = false;
                     // clone out of the shared payload only on first
                     // reception of this subtree
-                    self.aggs.entry(subtree).or_insert_with(|| {
-                        inserted = true;
-                        (*agg).clone()
-                    });
-                    inserted
+                    if self.aggs.contains_key(&subtree) {
+                        false
+                    } else {
+                        self.aggs.insert(subtree, (*agg).clone());
+                        true
+                    }
                 } else {
                     false
                 }

@@ -33,8 +33,8 @@ use std::sync::Arc;
 
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
-use gridagg_hierarchy::Addr;
-use gridagg_simnet::detcol::{DetMap, DetSet, Entry};
+use gridagg_hierarchy::{Addr, AddrSlab};
+use gridagg_simnet::detcol::DetSet;
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
@@ -136,8 +136,11 @@ pub struct HierGossip<A> {
     /// reception wins; own computations overwrite own-scope keys).
     /// Values are `Arc`-shared with in-flight payloads: adopting a
     /// received aggregate or staging one for gossip never copies the
-    /// contributor bitmap.
-    aggs: DetMap<Addr, Arc<Tagged<A>>>,
+    /// contributor bitmap. Stored in a dense chain-local slab — every
+    /// relevant prefix is a child of one of this member's ancestors (or
+    /// the root), so lookups are O(1) slot arithmetic instead of a
+    /// B-tree walk on the per-round hot path.
+    aggs: AddrSlab<Arc<Tagged<A>>>,
 
     /// Current phase (1-based); `phases + 1` means terminated.
     phase: usize,
@@ -210,7 +213,7 @@ impl<A: Aggregate> HierGossip<A> {
             my_box,
             known_votes: vec![(me, vote)],
             have_vote,
-            aggs: DetMap::new(),
+            aggs: AddrSlab::new(my_box),
             my_view: None,
             phase: 1,
             rounds_in_phase: 0,
@@ -353,7 +356,7 @@ impl<A: Aggregate> HierGossip<A> {
             (
                 self.children
                     .iter()
-                    .filter(|c| self.aggs.contains_key(*c))
+                    .filter(|c| self.aggs.contains_key(c))
                     .count(),
                 self.children.len(),
             )
@@ -413,7 +416,9 @@ impl<A: Aggregate> HierGossip<A> {
         let hierarchy = self.hierarchy();
         self.scope = hierarchy.scope(&self.my_box, self.phase);
         self.my_pos_in_scope = self.index.position_in(&self.scope, self.me);
-        self.children = self.index.nonempty_children(&self.scope);
+        self.children.clear();
+        self.children
+            .extend_from_slice(self.index.nonempty_children(&self.scope));
         self.refresh_view_scope();
     }
 
@@ -440,13 +445,17 @@ impl<A: Aggregate> HierGossip<A> {
                 self.scratch_children.extend(
                     self.children
                         .iter()
-                        .filter(|c| self.aggs.contains_key(*c))
+                        .filter(|c| self.aggs.contains_key(c))
                         .copied(),
                 );
                 match ctx.rng.choose(&self.scratch_children) {
                     Some(&subtree) => Payload::Agg {
                         subtree,
-                        agg: self.aggs[&subtree].clone(),
+                        agg: self
+                            .aggs
+                            .get(&subtree)
+                            .expect("candidate filtered by presence")
+                            .clone(),
                     },
                     None => return, // cannot happen: own child present
                 }
@@ -496,15 +505,15 @@ impl<A: Aggregate> HierGossip<A> {
     /// preserves the no-double-counting invariant while letting complete
     /// evaluations displace partial ones as they spread — the same
     /// convergence rule Astrolabe-style systems use.
-    fn upgrade(aggs: &mut DetMap<Addr, Arc<Tagged<A>>>, key: Addr, agg: Arc<Tagged<A>>) {
-        match aggs.entry(key) {
-            Entry::Vacant(v) => {
-                v.insert(agg);
-            }
-            Entry::Occupied(mut o) => {
-                if agg.vote_count() > o.get().vote_count() {
-                    o.insert(agg);
+    fn upgrade(aggs: &mut AddrSlab<Arc<Tagged<A>>>, key: Addr, agg: Arc<Tagged<A>>) {
+        match aggs.get_mut(&key) {
+            Some(existing) => {
+                if agg.vote_count() > existing.vote_count() {
+                    *existing = agg;
                 }
+            }
+            None => {
+                aggs.insert(key, agg);
             }
         }
     }
@@ -545,16 +554,16 @@ impl<A: Aggregate> HierGossip<A> {
                  outside that subtree"
             );
         }
-        let changed = match self.aggs.entry(subtree) {
-            Entry::Vacant(v) => {
-                v.insert(agg.clone());
+        let changed = match self.aggs.get_mut(&subtree) {
+            None => {
+                self.aggs.insert(subtree, agg.clone());
                 true
             }
-            Entry::Occupied(mut o) => {
+            Some(existing) => {
                 // same replace-if-more-complete rule as `upgrade`; the
                 // vote count changes exactly when the entry does
-                if agg.vote_count() > o.get().vote_count() {
-                    o.insert(agg.clone());
+                if agg.vote_count() > existing.vote_count() {
+                    *existing = agg.clone();
                     true
                 } else {
                     false
@@ -627,12 +636,11 @@ impl<A: Aggregate> HierGossip<A> {
     }
 
     /// Whether an incoming aggregate for `prefix` is relevant to this
-    /// member: it must name a child of one of this member's phase scopes.
+    /// member: it must name a child of one of this member's phase scopes
+    /// — exactly the chain-local slab's slot condition, minus the root
+    /// (the root aggregate is never gossiped).
     fn relevant(&self, prefix: &Addr) -> bool {
-        match prefix.parent() {
-            Some(parent) => parent.contains(&self.my_box),
-            None => false, // the root aggregate is never gossiped
-        }
+        !prefix.is_empty() && self.aggs.slot(prefix).is_some()
     }
 
     /// Narrate a phase transition that just happened: the phase entered

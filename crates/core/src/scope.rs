@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use gridagg_group::view::View;
 use gridagg_group::MemberId;
-use gridagg_hierarchy::{Addr, Hierarchy, Placement};
+use gridagg_hierarchy::{Addr, AddrInterner, Hierarchy, Placement};
 
 /// Immutable, shareable index of the hierarchy population.
 #[derive(Debug)]
@@ -26,6 +26,11 @@ pub struct ScopeIndex {
     offsets: Vec<u32>,
     /// box address of each member, indexed by member id
     box_of: Vec<Addr>,
+    /// dense ids for the fixed prefix universe (see `hierarchy::intern`)
+    interner: AddrInterner,
+    /// non-empty children per non-leaf prefix, indexed by interned id
+    /// (leaf prefixes share one trailing empty slot)
+    children: Vec<Vec<Addr>>,
 }
 
 impl ScopeIndex {
@@ -62,12 +67,33 @@ impl ScopeIndex {
             sorted[cursor[b] as usize] = m;
             cursor[b] += 1;
         }
-        Arc::new(ScopeIndex {
+        let interner = AddrInterner::new(&hierarchy);
+        let mut index = ScopeIndex {
             hierarchy,
             sorted,
             offsets,
             box_of,
-        })
+            interner,
+            children: Vec::new(),
+        };
+        // Precompute non-empty children for every non-leaf prefix (leaf
+        // prefixes have no children; they all alias the final empty Vec
+        // so `nonempty_children` stays total over the universe). The
+        // first leaf id bounds the non-leaf prefix range.
+        let first_leaf = index.interner.intern(&hierarchy.box_at(0)) as usize;
+        let mut children = Vec::with_capacity(first_leaf + 1);
+        for id in 0..first_leaf {
+            let prefix = index.interner.resolve(id as u32);
+            children.push(
+                prefix
+                    .children()
+                    .filter(|c| !index.members_in(c).is_empty())
+                    .collect(),
+            );
+        }
+        children.push(Vec::new());
+        index.children = children;
+        Arc::new(index)
     }
 
     /// The hierarchy this index is built over.
@@ -121,13 +147,17 @@ impl ScopeIndex {
             .ok()
     }
 
+    /// The dense id table for this hierarchy's prefix universe.
+    pub fn interner(&self) -> &AddrInterner {
+        &self.interner
+    }
+
     /// The non-empty children of `prefix` (subtrees that actually have
-    /// members — a box can be empty under a random hash).
-    pub fn nonempty_children(&self, prefix: &Addr) -> Vec<Addr> {
-        prefix
-            .children()
-            .filter(|c| !self.members_in(c).is_empty())
-            .collect()
+    /// members — a box can be empty under a random hash). Precomputed
+    /// once per run; leaf prefixes return the empty slice.
+    pub fn nonempty_children(&self, prefix: &Addr) -> &[Addr] {
+        let id = self.interner.intern(prefix) as usize;
+        &self.children[id.min(self.children.len() - 1)]
     }
 }
 
@@ -223,7 +253,7 @@ mod tests {
         let kids = idx.nonempty_children(&root);
         assert!(!kids.is_empty());
         for k in kids {
-            assert!(idx.count_in(&k) > 0);
+            assert!(idx.count_in(k) > 0);
         }
     }
 
