@@ -59,10 +59,18 @@ fn main() {
     }
     .write("fig10.svg");
     gridagg_bench::write_json("fig10.config.json", &ExperimentConfig::paper_defaults());
-    // Where crashes land is the dominant noise source in this figure, so
-    // the monotone-fall shape only emerges with enough runs per point;
-    // a low-run smoke (CI uses GRIDAGG_RUNS=4) still exercises the whole
-    // pipeline but must not gate on the shape.
+    // Where crashes land is the dominant noise source in this figure,
+    // so per-point monotonicity only emerges with enough runs. The
+    // always-on check compares the sweep's ends averaged over two
+    // points each, which stays stable down to the CI smoke's
+    // GRIDAGG_RUNS=4; the strict noisy-monotone check still gates the
+    // full-size run.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (high_pf, low_pf) = (mean(&series[..2]), mean(&series[series.len() - 2..]));
+    assert!(
+        high_pf >= low_pf,
+        "incompleteness must not rise as pf falls: high-pf end {high_pf} < low-pf end {low_pf} ({series:?})"
+    );
     if runs() >= 8 {
         assert!(
             is_decreasing_noisy(&series),
@@ -71,8 +79,7 @@ fn main() {
         println!("shape check: monotone fall with pf = true");
     } else {
         println!(
-            "shape check: skipped (needs GRIDAGG_RUNS >= 8, have {})",
-            runs()
+            "shape check: endpoint fall with pf = true (strict monotone needs GRIDAGG_RUNS >= 8)"
         );
     }
 }

@@ -41,6 +41,7 @@ const BINARIES: &[&str] = &[
     "ablation_fanout",
     "ablation_k",
     "phase_profile",
+    "churn",
 ];
 
 fn main() {

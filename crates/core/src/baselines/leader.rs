@@ -386,9 +386,10 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                 self.result.get_or_insert(agg);
                 !had
             }
-            Payload::VoteBatch { .. } | Payload::AggBatch { .. } => {
-                // batch gossip is a hierarchical-gossip wire form; the
-                // leader protocol never emits or consumes it
+            Payload::VoteBatch { .. } | Payload::AggBatch { .. } | Payload::Flow { .. } => {
+                // batch gossip is a hierarchical-gossip wire form and
+                // Flow belongs to the Flow-Updating baseline; the
+                // leader protocol never emits or consumes them
                 false
             }
         };

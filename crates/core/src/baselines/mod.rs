@@ -15,13 +15,18 @@
 //!   `N` individual votes must spread through the whole group within the
 //!   same round budget. The ablation that motivates the Grid Box
 //!   Hierarchy.
+//! * [`flowupdate::FlowUpdating`] — mass-conserving continuous
+//!   averaging (PAPERS.md): the churn baseline the continuous service
+//!   compares restart-per-epoch hierarchical gossip against.
 
 pub mod central;
 pub mod flatgossip;
 pub mod flood;
+pub mod flowupdate;
 pub mod leader;
 
 pub use central::{Centralized, CentralizedConfig};
 pub use flatgossip::{FlatGossip, FlatGossipConfig};
 pub use flood::{Flood, FloodConfig};
+pub use flowupdate::{ring_chord_neighbors, FlowUpdating, FlowUpdatingConfig};
 pub use leader::{LeaderDirectory, LeaderElection, LeaderElectionConfig};

@@ -121,6 +121,19 @@ where
     /// paths execute identical protocol and network decisions: tracing
     /// never perturbs a run, it only observes it.
     pub fn run_with<S: TraceSink>(mut self, sink: &mut S) -> RunReport {
+        self.drive(sink)
+    }
+
+    /// Run like [`Simulation::run`], but hand the protocol instances
+    /// back alongside the report. The continuous aggregation service
+    /// ([`crate::continuous`]) uses this to carry long-lived protocol
+    /// state (e.g. Flow-Updating flows) across epoch boundaries.
+    pub fn run_returning(mut self) -> (RunReport, Vec<P>) {
+        let report = self.drive(&mut NoTrace);
+        (report, self.protocols)
+    }
+
+    fn drive<S: TraceSink>(&mut self, sink: &mut S) -> RunReport {
         let n = self.protocols.len();
         let mut out = Outbox::new();
         // Delivery scratch, reused every round: `drain_into` refills it

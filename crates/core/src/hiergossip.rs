@@ -747,8 +747,9 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
                     }
                     any
                 }
-                Payload::Final { .. } => {
-                    // Hierarchical gossip never emits Final; ignore.
+                Payload::Final { .. } | Payload::Flow { .. } => {
+                    // Hierarchical gossip never emits Final, and Flow
+                    // belongs to the Flow-Updating baseline; ignore.
                     false
                 }
             };

@@ -40,6 +40,7 @@
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod baselines;
 pub mod config;
+pub mod continuous;
 pub mod engine;
 pub mod experiment;
 pub mod hiergossip;

@@ -67,6 +67,27 @@ pub enum Payload<A> {
         /// Whether this is a reactive reply to a push.
         reply: bool,
     },
+    /// One Flow-Updating edge update: the sender's current flow on the
+    /// edge to the receiver plus its current estimate (the
+    /// mass-conserving averaging baseline; see
+    /// [`crate::baselines::FlowUpdating`]). Constant-size in `N` — the
+    /// `influenced` contributor set is simulation instrumentation for
+    /// completeness scoring, excluded from wire accounting exactly like
+    /// the `Tagged` bitsets.
+    Flow {
+        /// Flow the sender currently assigns to the (sender → receiver)
+        /// edge.
+        flow: f64,
+        /// The sender's current average estimate.
+        estimate: f64,
+        /// Whether this is the responder half of a pairwise exchange
+        /// (the receiver adopts without answering) or an initiating
+        /// request (the receiver averages and answers).
+        reply: bool,
+        /// Members whose votes have (transitively) influenced the
+        /// sender's estimate — instrumentation, not protocol state.
+        influenced: Arc<gridagg_aggregate::VoteSet>,
+    },
 }
 
 impl<A: WireAggregate> Payload<A> {
@@ -90,6 +111,7 @@ impl<A: WireAggregate> Payload<A> {
                     })
                     .sum::<u32>()
             }
+            Payload::Flow { .. } => 8 + 8 + 1,
         };
         1 + body
     }
@@ -153,6 +175,29 @@ mod tests {
     }
 
     #[test]
+    fn flow_size_excludes_instrumentation() {
+        use gridagg_aggregate::VoteSet;
+        let small: Payload<Average> = Payload::Flow {
+            flow: 1.0,
+            estimate: 2.0,
+            reply: false,
+            influenced: Arc::new(VoteSet::singleton(0, 8)),
+        };
+        let big: Payload<Average> = Payload::Flow {
+            flow: 1.0,
+            estimate: 2.0,
+            reply: true,
+            influenced: Arc::new((0..500usize).collect()),
+        };
+        assert_eq!(small.wire_size(), 18);
+        assert_eq!(
+            small.wire_size(),
+            big.wire_size(),
+            "the contributor set is instrumentation, not wire bytes"
+        );
+    }
+
+    #[test]
     fn final_size() {
         let t = Tagged::<Average>::from_vote(0, 1.0, 10);
         let p = Payload::Final { agg: Arc::new(t) };
@@ -184,6 +229,7 @@ pub mod codec {
     const TAG_FINAL: u8 = 3;
     const TAG_VOTE_BATCH: u8 = 4;
     const TAG_AGG_BATCH: u8 = 5;
+    const TAG_FLOW: u8 = 6;
 
     /// Why a payload failed to decode, with the variant being decoded as
     /// context — a bare [`WireError`] can't tell a clipped vote batch
@@ -298,6 +344,22 @@ pub mod codec {
                     encode_tagged(agg, buf);
                 }
             }
+            Payload::Flow {
+                flow,
+                estimate,
+                reply,
+                influenced,
+            } => {
+                buf.put_u8(TAG_FLOW);
+                buf.put_u8(u8::from(*reply));
+                buf.put_f64(*flow);
+                buf.put_f64(*estimate);
+                let words = influenced.words();
+                buf.put_u16(words.len() as u16);
+                for &w in words {
+                    buf.put_u64(w);
+                }
+            }
         }
     }
 
@@ -369,6 +431,28 @@ pub mod codec {
                     reply,
                 })
             }
+            TAG_FLOW => {
+                if buf.remaining() < 19 {
+                    return Err(DecodeError::Truncated { variant: "flow" });
+                }
+                let reply = buf.get_u8() != 0;
+                let flow = buf.get_f64();
+                let estimate = buf.get_f64();
+                let n_words = buf.get_u16() as usize;
+                if buf.remaining() < n_words * 8 {
+                    return Err(DecodeError::Truncated { variant: "flow" });
+                }
+                let mut words = Vec::with_capacity(n_words);
+                for _ in 0..n_words {
+                    words.push(buf.get_u64());
+                }
+                Ok(Payload::Flow {
+                    flow,
+                    estimate,
+                    reply,
+                    influenced: Arc::new(gridagg_aggregate::VoteSet::from_words(words)),
+                })
+            }
             tag => Err(DecodeError::UnknownTag(tag)),
         }
     }
@@ -408,6 +492,18 @@ pub mod codec {
             roundtrip(Payload::AggBatch {
                 aggs: Arc::new(vec![(addr, Arc::new(tagged))]),
                 reply: false,
+            });
+            roundtrip(Payload::Flow {
+                flow: -3.25,
+                estimate: 41.5,
+                reply: false,
+                influenced: Arc::new([2usize, 9, 63].into_iter().collect()),
+            });
+            roundtrip(Payload::Flow {
+                flow: 7.5,
+                estimate: -0.25,
+                reply: true,
+                influenced: Arc::new([0usize].into_iter().collect()),
             });
         }
 
@@ -492,6 +588,12 @@ pub mod codec {
                 Payload::AggBatch {
                     aggs: Arc::new(vec![(addr, Arc::new(tagged))]),
                     reply: false,
+                },
+                Payload::Flow {
+                    flow: 0.5,
+                    estimate: -2.0,
+                    reply: true,
+                    influenced: Arc::new([1usize, 40].into_iter().collect()),
                 },
             ];
 

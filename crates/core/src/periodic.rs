@@ -48,7 +48,8 @@ pub enum VoteProcess {
 }
 
 impl VoteProcess {
-    fn step(&self, vote: f64, rng: &mut DetRng) -> f64 {
+    /// Evolve one vote by one epoch.
+    pub fn step(&self, vote: f64, rng: &mut DetRng) -> f64 {
         let gaussian = |rng: &mut DetRng, sigma: f64| {
             let u1 = rng.unit().max(1e-12);
             let u2 = rng.unit();
@@ -90,7 +91,12 @@ impl EpochReport {
             return f64::NAN;
         }
         values.sort_by(f64::total_cmp);
-        values[values.len() / 2]
+        let mid = values.len() / 2;
+        if values.len().is_multiple_of(2) {
+            (values[mid - 1] + values[mid]) / 2.0
+        } else {
+            values[mid]
+        }
     }
 
     /// Absolute tracking error of the median estimate.
@@ -99,9 +105,46 @@ impl EpochReport {
     }
 }
 
+/// How a periodic run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeriodicTermination {
+    /// All requested epochs ran.
+    Completed,
+    /// The surviving population fell below 2 before `epoch` could run;
+    /// the outcome carries fewer epochs than requested.
+    GroupCollapsed {
+        /// The epoch that could not run.
+        epoch: usize,
+        /// Survivors remaining at that point (0 or 1).
+        survivors: usize,
+    },
+}
+
+/// The outcome of a periodic run: the per-epoch reports plus how the
+/// run ended. A run that outlives its group is truncated — check
+/// [`PeriodicOutcome::termination`] rather than inferring it from
+/// `epochs.len()`.
+#[derive(Debug, Clone)]
+pub struct PeriodicOutcome {
+    /// One report per completed epoch (possibly fewer than requested).
+    pub epochs: Vec<EpochReport>,
+    /// Why the run stopped.
+    pub termination: PeriodicTermination,
+}
+
+impl PeriodicOutcome {
+    /// Whether the group collapsed before the requested epoch count.
+    pub fn collapsed(&self) -> bool {
+        matches!(self.termination, PeriodicTermination::GroupCollapsed { .. })
+    }
+}
+
 /// Run `epochs` consecutive one-shot aggregations while votes evolve
 /// according to `process` and members crash (without recovery) at the
 /// configured `pf` *between* epochs as well as during them.
+///
+/// If crashes reduce the surviving population below 2, the run stops
+/// early and the returned [`PeriodicOutcome::termination`] says so.
 ///
 /// # Panics
 ///
@@ -111,7 +154,7 @@ pub fn run_periodic<A: WireAggregate>(
     process: VoteProcess,
     epochs: usize,
     seed: u64,
-) -> Vec<EpochReport> {
+) -> PeriodicOutcome {
     cfg.validate().expect("invalid experiment config");
     assert!(epochs > 0, "need at least one epoch");
 
@@ -120,6 +163,7 @@ pub fn run_periodic<A: WireAggregate>(
     let mut votes: Vec<f64> = base_group.votes();
     let mut alive: Vec<bool> = vec![true; cfg.n];
     let mut out = Vec::with_capacity(epochs);
+    let mut termination = PeriodicTermination::Completed;
 
     for epoch in 0..epochs {
         // evolve votes
@@ -131,14 +175,18 @@ pub fn run_periodic<A: WireAggregate>(
 
         let survivors: Vec<usize> = (0..cfg.n).filter(|&i| alive[i]).collect();
         if survivors.len() < 2 {
-            break; // group effectively dead
+            // group effectively dead — surface it instead of silently
+            // returning fewer epochs than requested
+            termination = PeriodicTermination::GroupCollapsed {
+                epoch,
+                survivors: survivors.len(),
+            };
+            break;
         }
 
         // hierarchy re-derived from the surviving population estimate
         let hierarchy = Hierarchy::for_group(cfg.k, survivors.len().max(2)).expect("validated k");
         let placement = FairHashPlacement::new(hierarchy, seed ^ (epoch as u64) << 8);
-        let view = View::from_members(survivors.iter().map(|&i| MemberId(i as u32)).collect());
-        let index = ScopeIndex::build(&view, &placement);
 
         // ground truth over survivors
         let mut truth_acc: Option<A> = None;
@@ -154,7 +202,8 @@ pub fn run_periodic<A: WireAggregate>(
             .map_or(f64::NAN, gridagg_aggregate::Aggregate::summary);
 
         // NOTE: protocols are indexed densely by the engine, so build a
-        // dense sub-simulation over survivors only.
+        // dense sub-simulation over survivors only — the epoch's single
+        // scope index.
         let epoch_seed = seed.wrapping_add(1 + epoch as u64);
         let dense_index = {
             // reindex survivors densely: survivor j gets dense id j
@@ -166,7 +215,6 @@ pub fn run_periodic<A: WireAggregate>(
             };
             ScopeIndex::build(&dense_view, &dense_placement)
         };
-        let _ = index; // the sparse index documents intent; dense drives the run
         let protocols: Vec<HierGossip<A>> = survivors
             .iter()
             .enumerate()
@@ -209,16 +257,21 @@ pub fn run_periodic<A: WireAggregate>(
             report,
         });
     }
-    out
+    PeriodicOutcome {
+        epochs: out,
+        termination,
+    }
 }
 
 /// Placement over densely reindexed survivors: dense id `j` maps to the
 /// original member `survivors[j]`, placed by the epoch's fair hash.
+/// Shared with the continuous service ([`crate::continuous`]), which
+/// densifies the up-membership the same way.
 #[derive(Debug)]
-struct DensePlacement {
-    hierarchy: Hierarchy,
-    inner: FairHashPlacement,
-    survivors: Vec<usize>,
+pub(crate) struct DensePlacement {
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) inner: FairHashPlacement,
+    pub(crate) survivors: Vec<usize>,
 }
 
 impl gridagg_hierarchy::Placement for DensePlacement {
@@ -249,7 +302,9 @@ mod tests {
     fn fixed_votes_track_exactly_on_reliable_network() {
         let mut cfg = base(64);
         cfg.ucastl = 0.0;
-        let epochs = run_periodic::<Average>(&cfg, VoteProcess::Fixed, 3, 5);
+        let outcome = run_periodic::<Average>(&cfg, VoteProcess::Fixed, 3, 5);
+        assert_eq!(outcome.termination, PeriodicTermination::Completed);
+        let epochs = outcome.epochs;
         assert_eq!(epochs.len(), 3);
         let first = epochs[0].true_value;
         for e in &epochs {
@@ -269,7 +324,8 @@ mod tests {
             },
             5,
             9,
-        );
+        )
+        .epochs;
         assert_eq!(epochs.len(), 5);
         // the true value drifts upward ~2.0/epoch and the estimate follows
         for w in epochs.windows(2) {
@@ -288,7 +344,8 @@ mod tests {
     #[test]
     fn random_walk_changes_truth() {
         let cfg = base(32);
-        let epochs = run_periodic::<Average>(&cfg, VoteProcess::RandomWalk { sigma: 5.0 }, 4, 3);
+        let epochs =
+            run_periodic::<Average>(&cfg, VoteProcess::RandomWalk { sigma: 5.0 }, 4, 3).epochs;
         let truths: Vec<f64> = epochs.iter().map(|e| e.true_value).collect();
         let distinct = truths.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9);
         assert!(distinct, "random walk must move the truth: {truths:?}");
@@ -298,7 +355,7 @@ mod tests {
     fn crashes_accumulate_across_epochs() {
         let mut cfg = base(128);
         cfg.pf = 0.01;
-        let epochs = run_periodic::<Average>(&cfg, VoteProcess::Fixed, 4, 11);
+        let epochs = run_periodic::<Average>(&cfg, VoteProcess::Fixed, 4, 11).epochs;
         let populations: Vec<usize> = epochs.iter().map(|e| e.report.n).collect();
         assert!(
             populations.windows(2).all(|w| w[1] <= w[0]),
@@ -314,5 +371,70 @@ mod tests {
     #[should_panic(expected = "at least one epoch")]
     fn zero_epochs_rejected() {
         let _ = run_periodic::<Average>(&base(16), VoteProcess::Fixed, 0, 1);
+    }
+
+    #[test]
+    fn even_count_median_averages_middle_pair() {
+        use crate::metrics::{MemberOutcome, RunReport};
+        use gridagg_simnet::stats::NetworkStats;
+        let completed = |value: f64| MemberOutcome::Completed {
+            completeness: 1.0,
+            value,
+            at: 1,
+        };
+        // four completed members: median of {1, 3, 5, 7} is 4, not the
+        // upper-middle 5 the old indexing returned
+        let report = RunReport {
+            n: 4,
+            rounds: 2,
+            outcomes: vec![
+                completed(5.0),
+                completed(1.0),
+                completed(7.0),
+                completed(3.0),
+            ],
+            true_value: 4.0,
+            net: NetworkStats::default(),
+        };
+        let e = EpochReport {
+            epoch: 0,
+            true_value: 4.0,
+            report,
+        };
+        assert_eq!(e.median_estimate(), 4.0);
+        assert_eq!(e.tracking_error(), 0.0);
+
+        // odd counts still return the middle element
+        let report = RunReport {
+            n: 3,
+            rounds: 2,
+            outcomes: vec![completed(5.0), completed(1.0), completed(7.0)],
+            true_value: 5.0,
+            net: NetworkStats::default(),
+        };
+        let e = EpochReport {
+            epoch: 0,
+            true_value: 5.0,
+            report,
+        };
+        assert_eq!(e.median_estimate(), 5.0);
+    }
+
+    #[test]
+    fn group_collapse_is_surfaced_not_silent() {
+        // pf high enough that a 16-member group dies within a few
+        // epochs; the truncation must be visible in the termination
+        let mut cfg = base(16);
+        cfg.pf = 0.35;
+        let outcome = run_periodic::<Average>(&cfg, VoteProcess::Fixed, 12, 7);
+        assert!(outcome.epochs.len() < 12, "group should have collapsed");
+        assert!(outcome.collapsed());
+        match outcome.termination {
+            PeriodicTermination::GroupCollapsed { epoch, survivors } => {
+                assert_eq!(epoch, outcome.epochs.len(), "collapse at first unrun epoch");
+                assert!(survivors < 2);
+            }
+            PeriodicTermination::Completed => unreachable!("checked above"),
+        }
     }
 }

@@ -76,9 +76,17 @@ impl FailureProcess {
     /// Create the process for a group of `n` members, all initially
     /// alive. `seed` should be a fork of the run seed.
     pub fn new(model: FailureModel, n: usize, seed: u64) -> Self {
+        Self::with_liveness(model, vec![true; n], seed)
+    }
+
+    /// Create the process with an explicit initial liveness table —
+    /// members already down when the run starts (e.g. crashed in a
+    /// previous epoch of the continuous aggregation service) stay down
+    /// unless the model recovers them.
+    pub fn with_liveness(model: FailureModel, alive: Vec<bool>, seed: u64) -> Self {
         FailureProcess {
             model,
-            alive: vec![true; n],
+            alive,
             rng: DetRng::seeded(seed).fork(0x6661_696C), // "fail"
         }
     }
@@ -229,5 +237,31 @@ mod tests {
     fn out_of_range_member_not_alive() {
         let p = FailureProcess::new(FailureModel::None, 3, 1);
         assert!(!p.is_alive(MemberId(99)));
+    }
+
+    #[test]
+    fn initial_liveness_respected() {
+        let mut p = FailureProcess::with_liveness(
+            FailureModel::PerRoundWithRecovery { pf: 0.0, pr: 1.0 },
+            vec![true, false, true, false],
+            9,
+        );
+        assert_eq!(p.alive_count(), 2);
+        assert!(!p.is_alive(MemberId(1)));
+        // the model can recover members that started the run down
+        let events = p.step(0);
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, LivenessEvent::Recovered(_))));
+        assert_eq!(p.alive_count(), 4);
+
+        // without recovery, initially-down members stay down
+        let mut q =
+            FailureProcess::with_liveness(FailureModel::PerRound { pf: 0.0 }, vec![false, true], 9);
+        for r in 0..10 {
+            assert!(q.step(r).is_empty());
+        }
+        assert!(!q.is_alive(MemberId(0)));
     }
 }

@@ -16,10 +16,14 @@
 //! * [`view::View`] — complete or sampled-partial membership views.
 //! * [`failure::FailureModel`] / [`failure::FailureProcess`] — crash
 //!   (and optional recovery) injection per round.
+//! * [`membership::MembershipProcess`] / [`membership::ChurnModel`] —
+//!   epoch-level join/leave/crash/recover churn for the continuous
+//!   aggregation service.
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 pub mod failure;
+pub mod membership;
 pub mod view;
 
 use gridagg_simnet::rng::DetRng;
@@ -53,7 +57,10 @@ pub enum VoteDistribution {
 }
 
 impl VoteDistribution {
-    fn sample(&self, index: usize, rng: &mut DetRng) -> f64 {
+    /// Draw one vote for the member at `index` (the index only matters
+    /// for [`VoteDistribution::Index`]). Used by the group builder and
+    /// by the continuous service when members join mid-run.
+    pub fn sample(&self, index: usize, rng: &mut DetRng) -> f64 {
         match *self {
             VoteDistribution::Uniform { lo, hi } => lo + rng.unit() * (hi - lo),
             VoteDistribution::Gaussian { mean, std_dev } => {

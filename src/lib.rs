@@ -57,9 +57,13 @@ pub mod prelude {
     pub use gridagg_analysis::{c1, c1_incompleteness, ci_lower_bound, theorem1_bound};
     pub use gridagg_core::baselines::{
         Centralized, CentralizedConfig, FlatGossip, FlatGossipConfig, Flood, FloodConfig,
-        LeaderDirectory, LeaderElection, LeaderElectionConfig,
+        FlowUpdating, FlowUpdatingConfig, LeaderDirectory, LeaderElection, LeaderElectionConfig,
     };
     pub use gridagg_core::config::{ExperimentConfig, VoteSpec};
+    pub use gridagg_core::continuous::{
+        run_continuous, ChurnEpochReport, ContinuousOptions, ContinuousOutcome, ContinuousProtocol,
+    };
+    pub use gridagg_core::periodic::{run_periodic, EpochReport, PeriodicOutcome, VoteProcess};
     pub use gridagg_core::runner::{
         run_centralized, run_flatgossip, run_flood, run_hiergossip, run_leader_election,
     };
@@ -68,7 +72,10 @@ pub mod prelude {
         RunReport, ScopeIndex, Series, Simulation, Summary,
     };
     pub use gridagg_group::{
-        failure::FailureModel, view::View, GroupBuilder, MemberId, VoteDistribution,
+        failure::FailureModel,
+        membership::{ChurnModel, MembershipProcess},
+        view::View,
+        GroupBuilder, MemberId, VoteDistribution,
     };
     pub use gridagg_hierarchy::{
         Addr, ExplicitPlacement, FairHashPlacement, Hierarchy, Placement, PrefixPlacement,

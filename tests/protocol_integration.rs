@@ -323,7 +323,8 @@ fn periodic_epochs_survive_failures_end_to_end() {
     use gridagg::core::periodic::{run_periodic, VoteProcess};
     let mut cfg = ExperimentConfig::paper_defaults().with_n(96);
     cfg.pf = 0.005;
-    let epochs = run_periodic::<Average>(&cfg, VoteProcess::RandomWalk { sigma: 1.0 }, 3, 13);
+    let epochs =
+        run_periodic::<Average>(&cfg, VoteProcess::RandomWalk { sigma: 1.0 }, 3, 13).epochs;
     assert_eq!(epochs.len(), 3);
     for e in &epochs {
         assert!(
