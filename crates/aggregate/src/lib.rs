@@ -44,7 +44,7 @@ pub mod wire;
 
 pub use funcs::{All, Any, Average, Count, Histogram16, Max, MeanVar, Min, Sum, TopK};
 pub use tagged::{DoubleCount, Tagged};
-pub use voteset::VoteSet;
+pub use voteset::{VoteSet, EXACT_TRACK_MAX};
 
 /// Assert an internal protocol invariant when the `strict-invariants`
 /// feature is enabled; compiles to nothing otherwise.

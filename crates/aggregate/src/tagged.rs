@@ -33,7 +33,8 @@ pub struct Tagged<A> {
 }
 
 impl<A: Aggregate> Tagged<A> {
-    /// An empty aggregate sized for a group of `n` members.
+    /// An empty aggregate sized for a group of `n` members, with an
+    /// **exact** contributor set.
     pub fn empty(n: usize) -> Self {
         Tagged {
             agg: None,
@@ -41,11 +42,34 @@ impl<A: Aggregate> Tagged<A> {
         }
     }
 
-    /// The partial aggregate for a single member's vote.
+    /// The partial aggregate for a single member's vote, with an
+    /// **exact** contributor set.
     pub fn from_vote(member: usize, vote: f64, n: usize) -> Self {
         Tagged {
             agg: Some(A::from_vote(vote)),
             votes: VoteSet::singleton(member, n),
+        }
+    }
+
+    /// An empty aggregate in the contributor representation
+    /// [`VoteSet::for_scale`] picks for `n`: exact up to
+    /// [`crate::EXACT_TRACK_MAX`], counted above it.
+    ///
+    /// Only for protocols whose merges are structurally disjoint; see
+    /// the [`crate::voteset`] module docs.
+    pub fn empty_for_scale(n: usize) -> Self {
+        Tagged {
+            agg: None,
+            votes: VoteSet::for_scale(n),
+        }
+    }
+
+    /// The partial aggregate for a single member's vote, in the
+    /// contributor representation [`VoteSet::for_scale`] picks for `n`.
+    pub fn from_vote_for_scale(member: usize, vote: f64, n: usize) -> Self {
+        Tagged {
+            agg: Some(A::from_vote(vote)),
+            votes: VoteSet::singleton_for_scale(member, n),
         }
     }
 

@@ -10,8 +10,40 @@
 //! This is simulation instrumentation: the protocol's correctness never
 //! depends on shipping the set, and the wire codec ([`crate::wire`])
 //! serializes only the constant-size aggregate value.
+//!
+//! # Exact vs counted representation
+//!
+//! An exact bitset costs `N/8` bytes, and a protocol where every member
+//! carries aggregates over member subsets therefore costs `O(N²/8)`
+//! bytes of pure instrumentation — at `N = 2^20` that alone rules the
+//! scale out. [`VoteSet::for_scale`] switches to a **counted**
+//! representation above [`EXACT_TRACK_MAX`]: only the contributor
+//! *count* is kept, which is exact as long as every merge is
+//! structurally disjoint (deduplicated before merging, as hierarchical
+//! gossip, flat gossip, and leader election all do). Protocols that
+//! *rely* on [`crate::Tagged::try_merge`] rejecting overlaps to
+//! deduplicate (flood, centralized) must keep exact sets and cap their
+//! group size accordingly.
 
-/// A set of member indices, backed by a compact bit vector.
+/// Largest group size for which [`VoteSet::for_scale`] keeps an exact
+/// per-member bitset. Above this, sets are counted, not enumerated.
+///
+/// The threshold sits exactly at the top of the frozen bench/golden grid
+/// (`N = 16384`), so every recorded small-`N` result keeps byte-identical
+/// behavior while the scale ladder above it becomes memory-feasible.
+pub const EXACT_TRACK_MAX: usize = 16384;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// Exact membership bitmap.
+    Exact { words: Vec<u64>, len: usize },
+    /// Contributor count only; exact under structurally disjoint merges.
+    Counted { count: usize },
+}
+
+/// A set of member indices, backed by a compact bit vector — or, above
+/// [`EXACT_TRACK_MAX`], by a bare contributor count (see the module
+/// docs).
 ///
 /// ```
 /// use gridagg_aggregate::VoteSet;
@@ -23,88 +55,179 @@
 /// assert_eq!(included.len(), 2);
 /// assert_eq!(included.coverage(100), 0.02);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VoteSet {
-    words: Vec<u64>,
-    len: usize,
+    repr: Repr,
+}
+
+impl Default for VoteSet {
+    fn default() -> Self {
+        VoteSet::new(0)
+    }
 }
 
 impl VoteSet {
-    /// An empty set sized for a group of `n` members.
+    /// An empty **exact** set sized for a group of `n` members.
     pub fn new(n: usize) -> Self {
         VoteSet {
-            words: vec![0; n.div_ceil(64)],
-            len: 0,
+            repr: Repr::Exact {
+                words: vec![0; n.div_ceil(64)],
+                len: 0,
+            },
+        }
+    }
+
+    /// An empty set sized for a group of `n`: exact up to
+    /// [`EXACT_TRACK_MAX`], counted above it.
+    ///
+    /// Only protocols whose merges are structurally disjoint (they
+    /// deduplicate contributors *before* merging) may use this; see the
+    /// module docs.
+    pub fn for_scale(n: usize) -> Self {
+        if n <= EXACT_TRACK_MAX {
+            VoteSet::new(n)
+        } else {
+            VoteSet {
+                repr: Repr::Counted { count: 0 },
+            }
         }
     }
 
     /// A set containing exactly `member`, sized for a group of `n`
-    /// (grows automatically if `member >= n`).
+    /// (grows automatically if `member >= n`). Always exact.
     pub fn singleton(member: usize, n: usize) -> Self {
         let mut s = VoteSet::new(n);
         s.insert(member);
         s
     }
 
-    /// Insert a member index; returns `true` if newly inserted.
-    ///
-    /// Grows the backing store if `member` exceeds the current capacity.
-    pub fn insert(&mut self, member: usize) -> bool {
-        let word = member / 64;
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
-        }
-        let bit = 1u64 << (member % 64);
-        if self.words[word] & bit != 0 {
-            false
+    /// A set containing exactly `member`, in the representation
+    /// [`VoteSet::for_scale`] picks for `n`.
+    pub fn singleton_for_scale(member: usize, n: usize) -> Self {
+        if n <= EXACT_TRACK_MAX {
+            VoteSet::singleton(member, n)
         } else {
-            self.words[word] |= bit;
-            self.len += 1;
-            true
+            VoteSet {
+                repr: Repr::Counted { count: 1 },
+            }
         }
     }
 
-    /// Whether the set contains `member`.
+    /// A counted set holding `count` (structurally deduplicated)
+    /// contributors. Used by the tagged wire codec; protocol code
+    /// reaches counted mode via [`VoteSet::for_scale`] instead.
+    pub fn counted(count: usize) -> Self {
+        VoteSet {
+            repr: Repr::Counted { count },
+        }
+    }
+
+    /// Whether this set tracks exact per-member identity (as opposed to
+    /// a bare contributor count).
+    pub fn is_exact(&self) -> bool {
+        matches!(self.repr, Repr::Exact { .. })
+    }
+
+    /// Insert a member index; returns `true` if newly inserted.
+    ///
+    /// Grows the backing store if `member` exceeds the current capacity.
+    /// A counted set cannot deduplicate: it increments its count and
+    /// returns `true` unconditionally, trusting the caller's structural
+    /// dedup (see the module docs).
+    pub fn insert(&mut self, member: usize) -> bool {
+        match &mut self.repr {
+            Repr::Exact { words, len } => {
+                let word = member / 64;
+                if word >= words.len() {
+                    words.resize(word + 1, 0);
+                }
+                let bit = 1u64 << (member % 64);
+                if words[word] & bit != 0 {
+                    false
+                } else {
+                    words[word] |= bit;
+                    *len += 1;
+                    true
+                }
+            }
+            Repr::Counted { count } => {
+                *count += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether the set contains `member`. Counted sets carry no
+    /// identity and always answer `false`; gate on
+    /// [`VoteSet::is_exact`] where membership matters.
     pub fn contains(&self, member: usize) -> bool {
-        self.words
-            .get(member / 64)
-            .is_some_and(|w| w & (1u64 << (member % 64)) != 0)
+        match &self.repr {
+            Repr::Exact { words, .. } => words
+                .get(member / 64)
+                .is_some_and(|w| w & (1u64 << (member % 64)) != 0),
+            Repr::Counted { .. } => false,
+        }
     }
 
     /// Number of members in the set.
     pub fn len(&self) -> usize {
-        self.len
+        match &self.repr {
+            Repr::Exact { len, .. } => *len,
+            Repr::Counted { count } => *count,
+        }
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Whether this set shares no member with `other`.
+    ///
+    /// When either side is counted, identity is unavailable and the
+    /// disjointness obligation rests on the caller's structural dedup,
+    /// so counted pairs report disjoint (see the module docs).
     pub fn is_disjoint(&self, other: &VoteSet) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .all(|(a, b)| a & b == 0)
+        match (&self.repr, &other.repr) {
+            (Repr::Exact { words: a, .. }, Repr::Exact { words: b, .. }) => {
+                a.iter().zip(b.iter()).all(|(a, b)| a & b == 0)
+            }
+            _ => true,
+        }
     }
 
     /// In-place union. The caller is responsible for checking
     /// disjointness first when the no-double-counting constraint applies
-    /// (see [`crate::Tagged::try_merge`]).
+    /// (see [`crate::Tagged::try_merge`]). A union involving a counted
+    /// side degrades to a counted sum.
     pub fn union_with(&mut self, other: &VoteSet) {
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
+        match (&mut self.repr, &other.repr) {
+            (Repr::Exact { words, len }, Repr::Exact { words: b, .. }) => {
+                if b.len() > words.len() {
+                    words.resize(b.len(), 0);
+                }
+                for (a, b) in words.iter_mut().zip(b.iter()) {
+                    *a |= b;
+                }
+                *len = words.iter().map(|w| w.count_ones() as usize).sum();
+            }
+            _ => {
+                self.repr = Repr::Counted {
+                    count: self.len() + other.len(),
+                };
+            }
         }
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= b;
-        }
-        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
     }
 
-    /// Iterate over member indices in ascending order.
+    /// Iterate over member indices in ascending order. Counted sets
+    /// carry no identity and iterate nothing; gate on
+    /// [`VoteSet::is_exact`] where enumeration matters.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+        let words: &[u64] = match &self.repr {
+            Repr::Exact { words, .. } => words,
+            Repr::Counted { .. } => &[],
+        };
+        words.iter().enumerate().flat_map(|(wi, &w)| {
             (0..64).filter_map(move |b| {
                 if w & (1u64 << b) != 0 {
                     Some(wi * 64 + b)
@@ -115,15 +238,22 @@ impl VoteSet {
         })
     }
 
-    /// The raw 64-bit words backing the set (for serialization).
+    /// The raw 64-bit words backing the set (for serialization). Empty
+    /// for counted sets — the tagged codec writes their count instead.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        match &self.repr {
+            Repr::Exact { words, .. } => words,
+            Repr::Counted { .. } => &[],
+        }
     }
 
-    /// Rebuild a set from raw words (inverse of [`VoteSet::words`]).
+    /// Rebuild an exact set from raw words (inverse of
+    /// [`VoteSet::words`]).
     pub fn from_words(words: Vec<u64>) -> Self {
         let len = words.iter().map(|w| w.count_ones() as usize).sum();
-        VoteSet { words, len }
+        VoteSet {
+            repr: Repr::Exact { words, len },
+        }
     }
 
     /// Fraction of a group of `n` members covered by this set.
@@ -131,7 +261,7 @@ impl VoteSet {
         if n == 0 {
             1.0
         } else {
-            crate::conv::count_to_f64(self.len as u64) / crate::conv::count_to_f64(n as u64)
+            crate::conv::count_to_f64(self.len() as u64) / crate::conv::count_to_f64(n as u64)
         }
     }
 }
@@ -247,5 +377,59 @@ mod tests {
         let s = VoteSet::singleton(64, 64);
         assert!(s.contains(64));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn for_scale_picks_representation_by_group_size() {
+        assert!(VoteSet::for_scale(EXACT_TRACK_MAX).is_exact());
+        assert!(!VoteSet::for_scale(EXACT_TRACK_MAX + 1).is_exact());
+        assert!(VoteSet::singleton_for_scale(3, 64).is_exact());
+        assert!(!VoteSet::singleton_for_scale(3, 1 << 20).is_exact());
+    }
+
+    #[test]
+    fn small_scale_is_byte_compatible_with_exact() {
+        // below the threshold the scale constructors are the plain ones
+        assert_eq!(VoteSet::for_scale(1024), VoteSet::new(1024));
+        assert_eq!(
+            VoteSet::singleton_for_scale(9, 1024),
+            VoteSet::singleton(9, 1024)
+        );
+    }
+
+    #[test]
+    fn counted_tracks_counts_exactly() {
+        let mut s = VoteSet::for_scale(1 << 20);
+        assert!(s.is_empty());
+        assert!(s.insert(5));
+        assert!(s.insert(700_000));
+        assert_eq!(s.len(), 2);
+        let other = VoteSet::counted(3);
+        assert!(s.is_disjoint(&other));
+        s.union_with(&other);
+        assert_eq!(s.len(), 5);
+        assert!((s.coverage(10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counted_has_no_identity() {
+        let s = VoteSet::counted(4);
+        assert!(!s.is_exact());
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().count(), 0);
+        assert!(s.words().is_empty());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn mixed_union_degrades_to_counted() {
+        let mut a: VoteSet = [1, 2].into_iter().collect();
+        a.union_with(&VoteSet::counted(2));
+        assert!(!a.is_exact());
+        assert_eq!(a.len(), 4);
+        let mut c = VoteSet::counted(1);
+        c.union_with(&VoteSet::singleton(9, 16));
+        assert!(!c.is_exact());
+        assert_eq!(c.len(), 2);
     }
 }

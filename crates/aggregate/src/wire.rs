@@ -399,6 +399,37 @@ mod tests {
         assert!(WireError::Truncated.to_string().contains("short"));
         assert!(WireError::Malformed.to_string().contains("malformed"));
     }
+
+    #[test]
+    fn tagged_roundtrips_exact_and_counted() {
+        let n = crate::EXACT_TRACK_MAX + 1;
+        let mut counted = crate::Tagged::<Average>::from_vote_for_scale(3, 5.0, n);
+        counted
+            .try_merge(&crate::Tagged::from_vote_for_scale(9, 7.0, n))
+            .unwrap();
+        assert!(!counted.votes().is_exact());
+        let mut exact = crate::Tagged::<Average>::from_vote(3, 5.0, 128);
+        exact
+            .try_merge(&crate::Tagged::from_vote(9, 7.0, 128))
+            .unwrap();
+        for t in [&exact, &counted] {
+            let mut buf = BytesMut::new();
+            encode_tagged(t, &mut buf);
+            let back: crate::Tagged<Average> = decode_tagged(&mut buf.freeze()).unwrap();
+            assert_eq!(&back, t);
+            assert_eq!(back.vote_count(), 2);
+        }
+        // the counted encoding is count-only: constant size
+        let mut big = crate::Tagged::<Average>::empty_for_scale(n);
+        for m in 0..100 {
+            big.try_merge(&crate::Tagged::from_vote_for_scale(m, 1.0, n))
+                .unwrap();
+        }
+        let (mut a, mut b) = (BytesMut::new(), BytesMut::new());
+        encode_tagged(&counted, &mut a);
+        encode_tagged(&big, &mut b);
+        assert_eq!(a.len(), b.len());
+    }
 }
 
 /// Encode a [`Tagged`](crate::Tagged) aggregate *including its
@@ -409,6 +440,12 @@ mod tests {
 /// runtime and test transports, where exact completeness measurement is
 /// worth the bytes. A production deployment would ship only the
 /// [`WireAggregate`] value (see the module docs).
+///
+/// Counted contributor sets (see [`crate::VoteSet::for_scale`]) have no
+/// bitmap; they are written as the sentinel word count `u16::MAX`
+/// followed by the `u64` contributor count. Exact sets never reach the
+/// sentinel: they are capped at [`crate::EXACT_TRACK_MAX`] members
+/// (256 words) at every `for_scale` construction site.
 pub fn encode_tagged<A: WireAggregate, B: BufMut>(tagged: &crate::Tagged<A>, buf: &mut B) {
     match tagged.aggregate() {
         Some(agg) => {
@@ -417,10 +454,16 @@ pub fn encode_tagged<A: WireAggregate, B: BufMut>(tagged: &crate::Tagged<A>, buf
         }
         None => buf.put_u8(0),
     }
-    let words = tagged.votes().words();
-    buf.put_u16(words.len() as u16);
-    for &w in words {
-        buf.put_u64(w);
+    let votes = tagged.votes();
+    if votes.is_exact() {
+        let words = votes.words();
+        buf.put_u16(words.len() as u16);
+        for &w in words {
+            buf.put_u64(w);
+        }
+    } else {
+        buf.put_u16(u16::MAX);
+        buf.put_u64(votes.len() as u64);
     }
 }
 
@@ -443,14 +486,24 @@ pub fn decode_tagged<A: WireAggregate, B: Buf>(buf: &mut B) -> Result<crate::Tag
         return Err(WireError::Truncated);
     }
     let n_words = buf.get_u16() as usize;
-    if buf.remaining() < n_words * 8 {
-        return Err(WireError::Truncated);
-    }
-    let mut words = Vec::with_capacity(n_words);
-    for _ in 0..n_words {
-        words.push(buf.get_u64());
-    }
-    let votes = crate::VoteSet::from_words(words);
+    let votes = if n_words == u16::MAX as usize {
+        // counted contributor set: sentinel word count, then the count
+        if buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        let count = buf.get_u64();
+        let count = usize::try_from(count).map_err(|_| WireError::Malformed)?;
+        crate::VoteSet::counted(count)
+    } else {
+        if buf.remaining() < n_words * 8 {
+            return Err(WireError::Truncated);
+        }
+        let mut words = Vec::with_capacity(n_words);
+        for _ in 0..n_words {
+            words.push(buf.get_u64());
+        }
+        crate::VoteSet::from_words(words)
+    };
     crate::Tagged::from_parts(agg, votes).map_err(|_| WireError::Malformed)
 }
 

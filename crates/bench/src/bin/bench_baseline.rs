@@ -19,6 +19,21 @@
 //! output cells are merged in declaration order, so the JSON is
 //! byte-identical whether one worker ran or eight did.
 //!
+//! The grid is a **scale ladder**: N ∈ {256, …, 1048576}. Every
+//! protocol declares the largest N it is benchmarked at (`max_n` in
+//! [`PROTOCOLS`]) with a stated reason; cells above a protocol's cap
+//! are skipped with that reason logged. On top of that, a run carries
+//! its own `--min-n`/`--max-n` window — the default window tops out at
+//! N = 16384 so an ordinary CI run stays cheap, while the scale-smoke
+//! and nightly jobs select the big cells explicitly.
+//!
+//! Each cell also records `peak_heap_bytes`: the high-water mark of
+//! live heap bytes over one instrumented run, measured by the counting
+//! allocator. The mark is per-thread and the run is deterministic, so
+//! the value is reproducible for a given toolchain; `--check` gates it
+//! with a ±25% ratio tolerance (byte counts drift across toolchains,
+//! unlike the exactly-gated message counters).
+//!
 //! Usage:
 //!
 //! * `bench_baseline` — measure and write `results/BENCH_protocols.json`
@@ -27,6 +42,9 @@
 //!   cheap; `GRIDAGG_SEED` sets the seed).
 //! * `bench_baseline --jobs <J>` — run cells on `J` workers
 //!   (`GRIDAGG_JOBS` works too; default: all cores).
+//! * `bench_baseline --min-n <N>` / `--max-n <N>` — bound the grid
+//!   sizes this run measures (defaults: 0 and 16384). Baseline cells
+//!   outside the window are skipped by `--check`, not failed.
 //! * `bench_baseline --proxies-only` — skip wall-clock sampling and
 //!   zero the machine-dependent fields (`wall_secs_mean`,
 //!   `timed_iters`), making the whole output file deterministic — this
@@ -34,8 +52,8 @@
 //!   `--jobs` values.
 //! * `bench_baseline --check <path>` — additionally compare the
 //!   deterministic counters against a committed baseline JSON and exit
-//!   non-zero if `messages_sent` or `bytes_sent` increased for any
-//!   cell.
+//!   non-zero if `messages_sent` or `bytes_sent` increased — or
+//!   `peak_heap_bytes` grew by more than 25% — for any compared cell.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell as StdCell;
@@ -65,6 +83,10 @@ struct CountingAlloc;
 
 thread_local! {
     static ALLOCS: StdCell<u64> = const { StdCell::new(0) };
+    /// Live heap bytes this thread has allocated minus freed.
+    static CUR_BYTES: StdCell<u64> = const { StdCell::new(0) };
+    /// High-water mark of `CUR_BYTES` since the last [`heap_mark`].
+    static PEAK_BYTES: StdCell<u64> = const { StdCell::new(0) };
 }
 
 /// This thread's allocation count so far.
@@ -72,18 +94,51 @@ fn allocs_now() -> u64 {
     ALLOCS.try_with(StdCell::get).unwrap_or(0)
 }
 
+/// Start a peak-memory measurement window: returns the current live
+/// byte count and resets the peak to it.
+fn heap_mark() -> u64 {
+    let cur = CUR_BYTES.try_with(StdCell::get).unwrap_or(0);
+    let _ = PEAK_BYTES.try_with(|c| c.set(cur));
+    cur
+}
+
+/// Peak live bytes since `mark` was taken, relative to the mark: the
+/// high-water mark of heap growth inside the window.
+fn heap_peak_since(mark: u64) -> u64 {
+    PEAK_BYTES
+        .try_with(StdCell::get)
+        .unwrap_or(0)
+        .saturating_sub(mark)
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = CUR_BYTES.try_with(|c| {
+            let cur = c.get() + layout.size() as u64;
+            c.set(cur);
+            let _ = PEAK_BYTES.try_with(|p| p.set(p.get().max(cur)));
+        });
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // saturating: memory allocated on another thread (or before the
+        // counters existed) may be freed here
+        let _ = CUR_BYTES.try_with(|c| c.set(c.get().saturating_sub(layout.size() as u64)));
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = CUR_BYTES.try_with(|c| {
+            let cur = c
+                .get()
+                .saturating_sub(layout.size() as u64)
+                .saturating_add(new_size as u64);
+            c.set(cur);
+            let _ = PEAK_BYTES.try_with(|p| p.set(p.get().max(cur)));
+        });
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -91,11 +146,56 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-const SIZES: [usize; 3] = [256, 1024, 4096];
+/// The full scale ladder. A run measures the slice selected by its
+/// `--min-n`/`--max-n` window intersected with each protocol's own
+/// `max_n` cap.
+const SIZES: [usize; 7] = [256, 1024, 4096, 16384, 65536, 262144, 1048576];
 
-/// The large-grid extension: every protocol except `flood`, whose
-/// O(N²) message complexity is pathological at this size.
-const BIG_N: usize = 16384;
+/// Default `--max-n`: the top of the frozen golden/proxy grid. Cells
+/// above it are the scale ladder, selected explicitly by the
+/// scale-smoke and nightly jobs. Runs at larger N also disable
+/// hiergossip's per-phase trace recording (pure instrumentation,
+/// O(phases) heap per member).
+const DEFAULT_MAX_N: usize = 16384;
+
+/// Per-protocol scale policy: the largest N each protocol is
+/// benchmarked at, and why bigger grids are skipped. Skips are logged
+/// uniformly with the reason so a grid change never silently narrows
+/// coverage.
+struct ProtocolSpec {
+    name: &'static str,
+    max_n: usize,
+    cap_reason: &'static str,
+}
+
+const PROTOCOLS: [ProtocolSpec; 5] = [
+    ProtocolSpec {
+        name: "hiergossip",
+        max_n: 1_048_576,
+        cap_reason: "top of the ladder",
+    },
+    ProtocolSpec {
+        name: "flatgossip",
+        max_n: 65_536,
+        cap_reason: "per-member known-vote lists are O(coverage) and message volume O(N*rounds)",
+    },
+    ProtocolSpec {
+        name: "flood",
+        max_n: 4_096,
+        cap_reason: "O(N^2) messages is pathological at larger sizes",
+    },
+    ProtocolSpec {
+        name: "centralized",
+        max_n: 16_384,
+        cap_reason:
+            "duplicate-vote rejection at the leader requires exact, O(N)-bit contributor sets",
+    },
+    ProtocolSpec {
+        name: "leader",
+        max_n: 262_144,
+        cap_reason: "per-member address-chain slabs dominate memory at larger sizes",
+    },
+];
 
 /// One `(protocol, N)` measurement.
 struct Cell {
@@ -113,6 +213,9 @@ struct Cell {
     peak_in_flight: u64,
     delivered: u64,
     allocs_single_run: u64,
+    /// High-water mark of live heap bytes over the one instrumented
+    /// run (counting-allocator delta, relative to the pre-run mark).
+    peak_heap_bytes: u64,
 }
 
 impl ToJson for Cell {
@@ -134,6 +237,10 @@ impl ToJson for Cell {
             (
                 "allocs_single_run".into(),
                 Json::Num(self.allocs_single_run as f64),
+            ),
+            (
+                "peak_heap_bytes".into(),
+                Json::Num(self.peak_heap_bytes as f64),
             ),
         ])
     }
@@ -165,11 +272,15 @@ fn measure(
     timing: bool,
     run: impl Fn() -> RunReport,
 ) -> Cell {
-    // One instrumented run yields the deterministic proxies and the
-    // allocation count; only then is the wall clock sampled.
+    // One instrumented run yields the deterministic proxies, the
+    // allocation count, and the peak-heap high-water mark; only then is
+    // the wall clock sampled. The whole window runs on this worker
+    // thread, so the per-thread counters are exact at any `--jobs`.
     let before = allocs_now();
+    let mark = heap_mark();
     let report = run();
     let allocs_single_run = allocs_now() - before;
+    let peak_heap_bytes = heap_peak_since(mark);
     let (wall_secs_mean, timed_iters) = if timing {
         let (per, iters) = time_mean(bench_budget_ms(), runs() as u32, || {
             std::hint::black_box(run());
@@ -190,53 +301,54 @@ fn measure(
         peak_in_flight: report.net.peak_in_flight,
         delivered: report.net.delivered,
         allocs_single_run,
+        peak_heap_bytes,
     }
 }
 
-/// Queue one `(protocol, n)` cell; `flood: false` drops the quadratic
-/// protocol from large grids.
-fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool, flood: bool) {
-    let cfg = ExperimentConfig::paper_defaults().with_n(n);
+/// Queue every protocol's `(protocol, n)` cell, honoring each
+/// protocol's `max_n` cap with a logged reason.
+fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool) {
+    let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
+    // Above the frozen grid, per-phase trace recording is pure memory
+    // overhead (it never draws randomness or sends): turn it off so
+    // the peak-heap ceiling reflects protocol state, not telemetry.
+    cfg.phase_trace = n <= DEFAULT_MAX_N;
     cfg.validate().expect("paper defaults are valid");
-    sweep.push(format!("hiergossip/n={n}"), move || {
-        measure("hiergossip", n, seed, timing, || {
-            run_hiergossip::<Average>(&cfg, seed)
-        })
-    });
-    sweep.push(format!("flatgossip/n={n}"), move || {
-        measure("flatgossip", n, seed, timing, || {
-            run_flatgossip::<Average>(&cfg, seed)
-        })
-    });
-    if flood {
-        sweep.push(format!("flood/n={n}"), move || {
-            measure("flood", n, seed, timing, || {
-                run_flood::<Average>(&cfg, FloodConfig::default(), seed)
+    for spec in &PROTOCOLS {
+        if n > spec.max_n {
+            eprintln!(
+                "skipping {}/N={n}: max N is {} ({})",
+                spec.name, spec.max_n, spec.cap_reason
+            );
+            continue;
+        }
+        let name = spec.name;
+        sweep.push(format!("{name}/n={n}"), move || {
+            measure(name, n, seed, timing, || match name {
+                "hiergossip" => run_hiergossip::<Average>(&cfg, seed),
+                "flatgossip" => run_flatgossip::<Average>(&cfg, seed),
+                "flood" => run_flood::<Average>(&cfg, FloodConfig::default(), seed),
+                "centralized" => {
+                    run_centralized::<Average>(&cfg, CentralizedConfig::for_group(n), seed)
+                }
+                "leader" => {
+                    run_leader_election::<Average>(&cfg, LeaderElectionConfig::default(), seed)
+                }
+                other => unreachable!("unknown protocol {other}"),
             })
         });
     }
-    sweep.push(format!("centralized/n={n}"), move || {
-        measure("centralized", n, seed, timing, || {
-            run_centralized::<Average>(&cfg, CentralizedConfig::for_group(n), seed)
-        })
-    });
-    sweep.push(format!("leader/n={n}"), move || {
-        measure("leader", n, seed, timing, || {
-            run_leader_election::<Average>(&cfg, LeaderElectionConfig::default(), seed)
-        })
-    });
 }
 
-fn measure_all(seed: u64, timing: bool) -> Vec<Cell> {
+fn measure_all(seed: u64, timing: bool, min_n: usize, max_n: usize) -> Vec<Cell> {
     let mut sweep = Sweep::new();
     for n in SIZES {
-        queue_cells(&mut sweep, n, seed, timing, true);
+        if n < min_n || n > max_n {
+            eprintln!("skipping N={n} cells: outside this run's --min-n/--max-n window");
+            continue;
+        }
+        queue_cells(&mut sweep, n, seed, timing);
     }
-    eprintln!(
-        "skipping flood at N={BIG_N}: O(N^2) messages is pathological at this size \
-         (every other protocol gets an N={BIG_N} cell)"
-    );
-    queue_cells(&mut sweep, BIG_N, seed, timing, false);
     eprintln!(
         "measuring {} cells on {} worker(s) ...",
         sweep.len(),
@@ -263,6 +375,7 @@ fn report_table(cells: &[Cell]) {
                 c.bytes_sent.to_string(),
                 c.peak_in_flight.to_string(),
                 c.allocs_single_run.to_string(),
+                c.peak_heap_bytes.to_string(),
             ]
         })
         .collect();
@@ -278,15 +391,26 @@ fn report_table(cells: &[Cell]) {
             "bytes sent",
             "peak in-flight",
             "allocs/run",
+            "peak heap B",
         ],
         &rows,
     );
 }
 
+/// Ratio tolerance for the `peak_heap_bytes` gate: byte counts are
+/// deterministic for one toolchain but drift across compiler and
+/// allocator versions, so the gate fires only on a >25% increase.
+const PEAK_HEAP_TOLERANCE: f64 = 1.25;
+
 /// Compare `cells` against a committed baseline file. Returns the
 /// number of regressions: a cell whose `messages_sent` or `bytes_sent`
-/// *increased* over the baseline, or a baseline cell that disappeared.
-fn check_against(cells: &[Cell], path: &str) -> usize {
+/// *increased* over the baseline, whose `peak_heap_bytes` grew by more
+/// than [`PEAK_HEAP_TOLERANCE`], or a baseline cell that this run
+/// should have measured but did not. Baseline cells outside the run's
+/// `--min-n`/`--max-n` window (or a protocol's `max_n` cap) are
+/// skipped with a logged reason, so a windowed run can still check
+/// against the full committed ladder.
+fn check_against(cells: &[Cell], path: &str, min_n: usize, max_n: usize) -> usize {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_baseline: cannot read baseline {path}: {e}"));
     let json = Json::parse(&text)
@@ -309,6 +433,23 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
             .and_then(Json::as_str)
             .expect("baseline cell has a protocol");
         let n = counter(base, "n") as usize;
+        if n < min_n || n > max_n {
+            eprintln!(
+                "skipping baseline cell {proto}/N={n}: outside this run's \
+                 --min-n/--max-n window"
+            );
+            continue;
+        }
+        if let Some(spec) = PROTOCOLS.iter().find(|s| s.name == proto) {
+            if n > spec.max_n {
+                eprintln!(
+                    "skipping baseline cell {proto}/N={n}: above the protocol's \
+                     max N of {} ({})",
+                    spec.max_n, spec.cap_reason
+                );
+                continue;
+            }
+        }
         let Some(cur) = cells.iter().find(|c| c.protocol == proto && c.n == n) else {
             eprintln!("REGRESSION {proto}/N={n}: cell missing from this run");
             regressions += 1;
@@ -340,6 +481,35 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
                 );
             }
         }
+        // Peak-memory gate: ratio-tolerant (see PEAK_HEAP_TOLERANCE).
+        // Baselines recorded before the scale ladder have no
+        // peak_heap_bytes; those are reported, not failed.
+        match base.get("peak_heap_bytes").and_then(Json::as_f64) {
+            Some(base_peak) if base_peak > 0.0 => {
+                let ratio = cur.peak_heap_bytes as f64 / base_peak;
+                if ratio > PEAK_HEAP_TOLERANCE {
+                    eprintln!(
+                        "REGRESSION {proto}/N={n}: peak_heap_bytes {base_peak:.0} -> {} \
+                         (x{ratio:.2}, tolerance x{PEAK_HEAP_TOLERANCE})",
+                        cur.peak_heap_bytes
+                    );
+                    regressions += 1;
+                } else if ratio < 1.0 / PEAK_HEAP_TOLERANCE {
+                    eprintln!(
+                        "improved {proto}/N={n}: peak_heap_bytes {base_peak:.0} -> {} \
+                         (consider refreshing the baseline)",
+                        cur.peak_heap_bytes
+                    );
+                }
+            }
+            _ => {
+                eprintln!(
+                    "note {proto}/N={n}: baseline has no peak_heap_bytes \
+                     (this run: {}) — not compared",
+                    cur.peak_heap_bytes
+                );
+            }
+        }
         // Informational counters: also deterministic, but not gated
         // (a rounds or delivery-count shift may be a deliberate
         // protocol change). Any drift is still printed with both
@@ -366,7 +536,15 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
 fn main() {
     let mut check_path = None;
     let mut timing = true;
+    let mut min_n: usize = 0;
+    let mut max_n: usize = DEFAULT_MAX_N;
     let mut args = std::env::args().skip(1);
+    let parse_n = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("bench_baseline: expected a group size after {flag}");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {
@@ -376,6 +554,8 @@ fn main() {
                 }));
             }
             "--proxies-only" => timing = false,
+            "--min-n" => min_n = parse_n(&mut args, "--min-n"),
+            "--max-n" => max_n = parse_n(&mut args, "--max-n"),
             // consumed here; the sweep executor re-reads it from argv
             "--jobs" => {
                 if args.next().is_none() {
@@ -387,22 +567,27 @@ fn main() {
             other => {
                 eprintln!(
                     "bench_baseline: unknown argument {other:?} \
-                     (expected --check <path>, --jobs <J>, --proxies-only)"
+                     (expected --check <path>, --jobs <J>, --proxies-only, \
+                      --min-n <N>, --max-n <N>)"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if min_n > max_n {
+        eprintln!("bench_baseline: --min-n {min_n} exceeds --max-n {max_n}");
+        std::process::exit(2);
+    }
 
     let seed = base_seed();
     let baseline = Baseline {
-        cells: measure_all(seed, timing),
+        cells: measure_all(seed, timing, min_n, max_n),
     };
     report_table(&baseline.cells);
     write_json("BENCH_protocols.json", &baseline);
 
     if let Some(path) = check_path {
-        let regressions = check_against(&baseline.cells, &path);
+        let regressions = check_against(&baseline.cells, &path, min_n, max_n);
         if regressions > 0 {
             eprintln!("bench_baseline: {regressions} regression(s) vs {path}");
             std::process::exit(1);

@@ -81,13 +81,16 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
         if self.rounds >= self.cfg.total_rounds {
             let mut votes = self.known.clone();
             votes.sort_unstable_by_key(|(m, _)| *m);
-            let mut acc = Tagged::<A>::empty(self.n);
+            // `for_scale`: counted contributor sets above the exact
+            // threshold are safe here because `have` dedupes inserts
+            // into `known`, so the merges are structurally disjoint.
+            let mut acc = Tagged::<A>::empty_for_scale(self.n);
             for (m, v) in votes {
                 // `have` dedupes inserts into `known`, so these merges
                 // are disjoint; if that ever broke, dropping the
                 // duplicate (try_merge leaves `acc` untouched on error)
                 // beats panicking in a handler (lint rule D003).
-                let _ = acc.try_merge(&Tagged::from_vote(m.index(), v, self.n));
+                let _ = acc.try_merge(&Tagged::from_vote_for_scale(m.index(), v, self.n));
             }
             self.estimate = Some(acc);
             self.done_at = Some(ctx.round);

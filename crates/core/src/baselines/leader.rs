@@ -201,17 +201,21 @@ impl<A: Aggregate> LeaderElection<A> {
         if let Some(a) = self.aggs.get(&prefix) {
             return a.clone();
         }
+        // `for_scale`: counted contributor sets above the exact
+        // threshold are safe here because `have_vote` dedupes committee
+        // votes and child slots adopt first-reception-wins, so merges
+        // are structurally disjoint.
         let composed = if len == self.depth() {
             let mut votes = self.votes.clone();
             votes.sort_unstable_by_key(|(m, _)| *m);
-            let mut acc = Tagged::<A>::empty(self.n);
+            let mut acc = Tagged::<A>::empty_for_scale(self.n);
             for (m, v) in votes {
-                acc.try_merge(&Tagged::from_vote(m.index(), v, self.n))
+                acc.try_merge(&Tagged::from_vote_for_scale(m.index(), v, self.n))
                     .expect("unique votes");
             }
             acc
         } else {
-            let mut acc = Tagged::<A>::empty(self.n);
+            let mut acc = Tagged::<A>::empty_for_scale(self.n);
             for child in prefix.children() {
                 if let Some(a) = self.aggs.get(&child) {
                     acc.try_merge(a).expect("disjoint children");
@@ -236,10 +240,13 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
         let up_rounds = self.phases() as Round * l;
 
         if round >= self.schedule_rounds() {
-            let estimate = self
-                .result
-                .clone()
-                .unwrap_or_else(|| Arc::new(Tagged::from_vote(self.me.index(), self.vote, self.n)));
+            let estimate = self.result.clone().unwrap_or_else(|| {
+                Arc::new(Tagged::from_vote_for_scale(
+                    self.me.index(),
+                    self.vote,
+                    self.n,
+                ))
+            });
             self.estimate = Some(estimate);
             self.done_at = Some(round);
             return;
@@ -358,8 +365,9 @@ impl<A: Aggregate> AggregationProtocol<A> for LeaderElection<A> {
                 if !subtree.is_empty() && self.aggs.slot(&subtree).is_some() {
                     // Addr consistency: an adopted child aggregate must
                     // only cover that child's members (see DESIGN.md §11).
+                    // (Counted sets carry no identity to check.)
                     #[cfg(feature = "strict-invariants")]
-                    {
+                    if agg.votes().is_exact() {
                         let index = &self.index;
                         assert!(
                             agg.votes()

@@ -141,6 +141,12 @@ pub struct ExperimentConfig {
     /// 1..=max_delay rounds, adding network asynchrony beyond the §7
     /// next-round default (`None` / `Some(1)`).
     pub max_delay: Option<u64>,
+    /// Record per-phase completion traces inside each member
+    /// ([`crate::hiergossip::HierGossip::trace`]). Pure instrumentation
+    /// — never affects protocol behavior or proxy counters — but costs
+    /// O(phases) heap per member, so the scale bench turns it off above
+    /// the exact-tracking threshold.
+    pub phase_trace: bool,
     /// Vote distribution.
     pub vote: VoteSpec,
 }
@@ -166,6 +172,7 @@ impl Default for ExperimentConfig {
             n_estimate: None,
             start_spread: None,
             max_delay: None,
+            phase_trace: true,
             vote: VoteSpec::Uniform { lo: 0.0, hi: 100.0 },
         }
     }
@@ -192,6 +199,7 @@ impl ToJson for ExperimentConfig {
             ("n_estimate".into(), self.n_estimate.to_json()),
             ("start_spread".into(), self.start_spread.to_json()),
             ("max_delay".into(), self.max_delay.to_json()),
+            ("phase_trace".into(), self.phase_trace.to_json()),
             ("vote".into(), self.vote.to_json()),
         ])
     }
@@ -218,6 +226,8 @@ impl FromJson for ExperimentConfig {
             n_estimate: opt_field(value, "n_estimate")?,
             start_spread: opt_field(value, "start_spread")?,
             max_delay: opt_field(value, "max_delay")?,
+            // absent in configs recorded before the scale ladder: default on
+            phase_trace: opt_field(value, "phase_trace")?.unwrap_or(true),
             vote: field(value, "vote")?,
         })
     }
@@ -267,6 +277,7 @@ impl ExperimentConfig {
             rounds_per_phase: self.rounds_per_phase,
             early_bump: self.early_bump,
             phase1_early_exit: self.phase1_early_exit,
+            phase_trace: self.phase_trace,
             exchange: if self.batch_exchange {
                 crate::hiergossip::Exchange::Batch
             } else {

@@ -482,12 +482,18 @@ fn run_fu_epoch(
         }
         match outcome {
             MemberOutcome::Completed { value, .. } => {
-                // count only influence from the epoch's true membership
+                // count only influence from the epoch's true membership;
+                // a counted contributor set (scale runs) has no identity
+                // to filter by, so fall back to the raw contributor count
                 let votes_in = protocols[i].estimate().map_or(0, |est| {
-                    est.votes()
-                        .iter()
-                        .filter(|&m| membership.is_up(MemberId(m as u32)))
-                        .count()
+                    if est.votes().is_exact() {
+                        est.votes()
+                            .iter()
+                            .filter(|&m| membership.is_up(MemberId(m as u32)))
+                            .count()
+                    } else {
+                        est.vote_count()
+                    }
                 });
                 acc.publish(*value, votes_in);
             }

@@ -15,10 +15,21 @@
 //!
 //! The protocol is "started simultaneously at all members" (round 0);
 //! thereafter members proceed asynchronously.
+//!
+//! The round loop is **event-driven**: instead of scanning all `N`
+//! members every round, it visits only members with pending work — the
+//! union of *active* members (started, not yet done) and members whose
+//! staggered start round has arrived — walked in ascending member-id
+//! order, which is exactly the order the dense scan visited them. Done
+//! and not-yet-due members cost nothing per round, which is what makes
+//! million-member runs affordable once most of the group has finished.
+
+use std::collections::BTreeMap;
 
 use gridagg_aggregate::wire::WireAggregate;
 use gridagg_group::failure::{FailureProcess, LivenessEvent};
 use gridagg_group::MemberId;
+use gridagg_simnet::bitset::DenseBitSet;
 use gridagg_simnet::network::{SendOutcome, SimNetwork};
 use gridagg_simnet::rng::DetRng;
 use gridagg_simnet::Round;
@@ -38,7 +49,7 @@ pub struct Simulation<A, P> {
     true_value: f64,
     max_rounds: Round,
     start_rounds: Option<Vec<Round>>,
-    started: Vec<bool>,
+    started: DenseBitSet,
 }
 
 impl<A, P> Simulation<A, P>
@@ -69,7 +80,7 @@ where
         net.reserve_nodes(protocols.len());
         let root = DetRng::seeded(seed).fork(0x6D62_7273); // "mbrs"
         let rngs = (0..protocols.len()).map(|i| root.fork(i as u64)).collect();
-        let started = vec![true; protocols.len()];
+        let started = (0..protocols.len()).collect();
         Simulation {
             net,
             protocols,
@@ -101,7 +112,12 @@ where
             self.protocols.len(),
             "one start round per member"
         );
-        self.started = start_rounds.iter().map(|&r| r == 0).collect();
+        self.started = start_rounds
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == 0)
+            .map(|(i, _)| i)
+            .collect();
         self.start_rounds = Some(start_rounds);
         self
     }
@@ -140,14 +156,44 @@ where
         // in place, so the steady state is zero per-round allocation.
         let mut delivery = Vec::new();
         let mut round: Round = 0;
-        if S::ENABLED {
-            for (i, &started) in self.started.iter().enumerate() {
-                if started {
-                    sink.record(TraceEvent::Start {
-                        member: MemberId(i as u32),
-                        round: 0,
-                    });
+        let mut protocol_steps: u64 = 0;
+
+        // Event-driven scheduling state. `active` = started and not yet
+        // done: the members an `on_round` visit can do anything for.
+        // `unstarted` members wait for their start round (or an earlier
+        // gossip wake-up); once the round arrives they move to `due`
+        // and are started at their next alive visit. A bucket queue
+        // keyed by start round feeds `due` without per-round scans.
+        let mut active = DenseBitSet::with_capacity(n);
+        let mut unstarted = DenseBitSet::with_capacity(n);
+        let mut due = DenseBitSet::with_capacity(n);
+        let mut start_buckets: BTreeMap<Round, Vec<u32>> = BTreeMap::new();
+        for i in 0..n {
+            if self.started.contains(i) {
+                if !self.protocols[i].is_done() {
+                    active.insert(i);
                 }
+            } else {
+                unstarted.insert(i);
+            }
+        }
+        if let Some(starts) = &self.start_rounds {
+            for (i, &r) in starts.iter().enumerate() {
+                if unstarted.contains(i) {
+                    start_buckets.entry(r).or_default().push(i as u32);
+                }
+            }
+        }
+        // Visit scratch: the ascending union of active ∪ due, rebuilt
+        // each round so the sets can be edited while visiting.
+        let mut visit: Vec<u32> = Vec::new();
+
+        if S::ENABLED {
+            for i in self.started.iter() {
+                sink.record(TraceEvent::Start {
+                    member: MemberId(i as u32),
+                    round: 0,
+                });
             }
         }
         loop {
@@ -159,6 +205,21 @@ where
                         LivenessEvent::Crashed(member) => TraceEvent::Crash { member, round },
                         LivenessEvent::Recovered(member) => TraceEvent::Recover { member, round },
                     });
+                }
+            }
+
+            // members whose official start round arrives become due;
+            // they actually start at their next alive visit below
+            while start_buckets
+                .first_key_value()
+                .is_some_and(|(&r, _)| r <= round)
+            {
+                let (_, ids) = start_buckets.pop_first().expect("checked non-empty");
+                for id in ids {
+                    // skip anyone gossip already woke up
+                    if unstarted.contains(id as usize) {
+                        due.insert(id as usize);
+                    }
                 }
             }
 
@@ -177,14 +238,17 @@ where
                         round,
                         sent_at: env.sent_at,
                     });
-                    if !self.started[to] {
+                    if !self.started.contains(to) {
                         sink.record(TraceEvent::Start {
                             member: env.to,
                             round,
                         });
                     }
                 }
-                self.started[to] = true;
+                if self.started.insert(to) {
+                    unstarted.remove(to);
+                    due.remove(to);
+                }
                 let was_done = self.protocols[to].is_done();
                 {
                     let mut ctx = if S::ENABLED {
@@ -193,6 +257,13 @@ where
                         Ctx::new(round, &mut self.rngs[to])
                     };
                     self.protocols[to].on_message(env.from, env.payload, &mut ctx, &mut out);
+                }
+                // a message can finish a member (drop it from the visit
+                // set) or re-arm a finished one (put it back)
+                if self.protocols[to].is_done() {
+                    active.remove(to);
+                } else {
+                    active.insert(to);
                 }
                 if S::ENABLED && !was_done && self.protocols[to].is_done() {
                     sink.record(TraceEvent::Terminate {
@@ -206,31 +277,42 @@ where
                 Self::flush(&mut self.net, round, env.to, &mut out, sink);
             }
 
-            // 3.+4. step alive, started, unfinished members
+            // 3.+4. step alive, started, unfinished members — visiting
+            // only the union of active and due-to-start members, in
+            // ascending id order (the same order the dense scan used)
             let mut all_settled = true;
-            for i in 0..n {
-                let me = MemberId(i as u32);
-                if !self.failure.is_alive(me) {
-                    continue;
+            // an alive member still waiting for its start round keeps
+            // the run open, even though nothing visits it yet
+            for i in unstarted.iter() {
+                if !due.contains(i) && self.failure.is_alive(MemberId(i as u32)) {
+                    all_settled = false;
+                    break;
                 }
-                if !self.started[i] {
-                    match &self.start_rounds {
-                        Some(starts) if round >= starts[i] => {
-                            self.started[i] = true;
-                            if S::ENABLED {
-                                sink.record(TraceEvent::Start { member: me, round });
-                            }
-                        }
-                        _ => {
-                            all_settled = false; // still waiting to start
-                            continue;
-                        }
+            }
+            visit.clear();
+            visit.extend(active.iter_union(&due).map(|i| i as u32));
+            for &iv in &visit {
+                let i = iv as usize;
+                let me = MemberId(iv);
+                if !self.failure.is_alive(me) {
+                    continue; // stays active/due; resumes on recovery
+                }
+                if unstarted.contains(i) {
+                    // due member starting at its official round
+                    unstarted.remove(i);
+                    due.remove(i);
+                    self.started.insert(i);
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Start { member: me, round });
                     }
                 }
                 if self.protocols[i].is_done() {
+                    active.remove(i);
                     continue;
                 }
+                active.insert(i);
                 all_settled = false;
+                protocol_steps += 1;
                 {
                     let mut ctx = if S::ENABLED {
                         Ctx::traced(round, &mut self.rngs[i], sink)
@@ -239,14 +321,17 @@ where
                     };
                     self.protocols[i].on_round(&mut ctx, &mut out);
                 }
-                if S::ENABLED && self.protocols[i].is_done() {
-                    sink.record(TraceEvent::Terminate {
-                        member: me,
-                        round,
-                        completeness: self.protocols[i]
-                            .estimate()
-                            .map_or(0.0, |est| est.completeness(n)),
-                    });
+                if self.protocols[i].is_done() {
+                    active.remove(i);
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Terminate {
+                            member: me,
+                            round,
+                            completeness: self.protocols[i]
+                                .estimate()
+                                .map_or(0.0, |est| est.completeness(n)),
+                        });
+                    }
                 }
                 Self::flush(&mut self.net, round, me, &mut out, sink);
             }
@@ -284,6 +369,7 @@ where
             outcomes,
             true_value: self.true_value,
             net: self.net.stats().clone(),
+            protocol_steps,
         }
     }
 
@@ -483,6 +569,54 @@ mod tests {
         // the sleeper finished long before its official start round
         assert!(report.rounds < 1000, "ran {} rounds", report.rounds);
         assert_eq!(report.completed(), n);
+    }
+
+    #[test]
+    fn event_loop_visits_only_members_with_pending_work() {
+        // 100% loss so gossip never wakes the sleeper, and a round cap
+        // below the schedule end so nobody finishes: the 7 started
+        // members are visited every round, the never-started member 7
+        // exactly never. The dense scan would have touched all 8.
+        let n = 8;
+        let group = GroupBuilder::new(n)
+            .votes(VoteDistribution::Index)
+            .seed(2)
+            .build();
+        let h = Hierarchy::for_group(4, n).unwrap();
+        let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 2));
+        let protocols: Vec<HierGossip<Average>> = group
+            .members()
+            .iter()
+            .map(|m| HierGossip::new(m.id, m.vote, index.clone(), HierGossipConfig::default()))
+            .collect();
+        let net = SimNetwork::new(
+            NetworkConfig::default()
+                .with_loss(gridagg_simnet::loss::UniformLoss::new(1.0).unwrap()),
+            2,
+        );
+        let failure = FailureProcess::new(FailureModel::None, n, 2);
+        let mut starts = vec![0 as Round; n];
+        starts[7] = 1_000_000; // due far beyond the cap: never visited
+        let report = Simulation::new(net, protocols, failure, 2, 3.5, 5)
+            .with_start_rounds(starts)
+            .run();
+        assert_eq!(report.rounds, 5);
+        assert_eq!(report.protocol_steps, 7 * 5);
+    }
+
+    #[test]
+    fn done_members_drop_out_of_the_round_loop() {
+        // on a perfect network every member finishes at the schedule
+        // end, and the settling round that detects termination visits
+        // nobody — so steps stay strictly below the dense-scan n*rounds
+        let report = hier_sim(64, 3).run();
+        assert!(report.protocol_steps > 0);
+        assert!(
+            report.protocol_steps < 64 * report.rounds,
+            "steps {} vs dense {}",
+            report.protocol_steps,
+            64 * report.rounds
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::sync::Arc;
 use gridagg_aggregate::{Aggregate, Tagged};
 use gridagg_group::MemberId;
 use gridagg_hierarchy::{Addr, AddrSlab};
-use gridagg_simnet::detcol::DetSet;
+use gridagg_simnet::bitset::DenseBitSet;
 use gridagg_simnet::Round;
 
 use crate::message::Payload;
@@ -60,6 +60,12 @@ pub struct HierGossipConfig {
     /// known (requires a complete view; off by default, matching the
     /// paper's fixed-length first phase).
     pub phase1_early_exit: bool,
+    /// Record a [`PhaseTrace`] entry at each phase end. Instrumentation
+    /// only — recording never draws randomness or sends messages, so
+    /// turning it off changes no protocol behavior — but the entries
+    /// cost O(phases) heap per member, which the million-member bench
+    /// cells cannot afford.
+    pub phase_trace: bool,
     /// Gossip-exchange mode: what one message to a gossipee carries.
     pub exchange: Exchange,
 }
@@ -94,6 +100,7 @@ impl Default for HierGossipConfig {
             rounds_per_phase: None,
             early_bump: true,
             phase1_early_exit: false,
+            phase_trace: true,
             exchange: Exchange::Batch,
         }
     }
@@ -128,9 +135,13 @@ pub struct HierGossip<A> {
     my_box: Addr,
 
     /// Known votes of members in my grid box: parallel vec for
-    /// deterministic random selection + set for cheap dedup.
+    /// deterministic random selection (insertion order is part of the
+    /// protocol's RNG-visible behavior) + a fixed-size bitset for cheap
+    /// dedup, keyed by the member's dense position within the box slice
+    /// (see [`ScopeIndex::position_in`]) — O(box size / 8) bytes instead
+    /// of a sorted-vec set of raw ids.
     known_votes: Vec<(MemberId, f64)>,
-    have_vote: DetSet<u32>,
+    have_vote: DenseBitSet,
 
     /// Known subtree aggregates, keyed by subtree prefix (first
     /// reception wins; own computations overwrite own-scope keys).
@@ -201,8 +212,10 @@ impl<A: Aggregate> HierGossip<A> {
         let hierarchy = *index.hierarchy();
         let my_box = index.box_of(me);
         let my_pos = index.position_in(&my_box, me);
-        let mut have_vote = DetSet::new();
-        have_vote.insert(me.0);
+        let mut have_vote = DenseBitSet::with_capacity(index.count_in(&my_box));
+        if let Some(pos) = my_pos {
+            have_vote.insert(pos);
+        }
         HierGossip {
             me,
             n,
@@ -330,18 +343,22 @@ impl<A: Aggregate> HierGossip<A> {
     /// Close out the current phase: compose this scope's aggregate from
     /// the known components and advance.
     fn finish_phase(&mut self, round: Round) {
+        // `for_scale` constructors: above the exact-tracking threshold
+        // the contributor sets are counted, which is exact here because
+        // `have_vote` dedups phase-1 votes and child subtrees are
+        // disjoint by construction (see the voteset module docs).
         let composed = if self.phase == 1 {
             // deterministic fold order: by member id
             let mut votes = self.known_votes.clone();
             votes.sort_unstable_by_key(|(m, _)| *m);
-            let mut acc = Tagged::<A>::empty(self.n);
+            let mut acc = Tagged::<A>::empty_for_scale(self.n);
             for (m, v) in votes {
-                acc.try_merge(&Tagged::from_vote(m.index(), v, self.n))
+                acc.try_merge(&Tagged::from_vote_for_scale(m.index(), v, self.n))
                     .expect("votes are unique per member");
             }
             acc
         } else {
-            let mut acc = Tagged::<A>::empty(self.n);
+            let mut acc = Tagged::<A>::empty_for_scale(self.n);
             for child in &self.children {
                 if let Some(a) = self.aggs.get(child) {
                     acc.try_merge(a)
@@ -350,29 +367,33 @@ impl<A: Aggregate> HierGossip<A> {
             }
             acc
         };
-        let (known, expected) = if self.phase == 1 {
-            (self.known_votes.len(), self.index.count_in(&self.my_box))
-        } else {
-            (
-                self.children
-                    .iter()
-                    .filter(|c| self.aggs.contains_key(c))
-                    .count(),
-                self.children.len(),
-            )
-        };
-        self.trace.push(PhaseTrace {
-            phase: self.phase,
-            known,
-            expected,
-            votes: composed.vote_count(),
-            at: round,
-        });
+        if self.cfg.phase_trace {
+            let (known, expected) = if self.phase == 1 {
+                (self.known_votes.len(), self.index.count_in(&self.my_box))
+            } else {
+                (
+                    self.children
+                        .iter()
+                        .filter(|c| self.aggs.contains_key(c))
+                        .count(),
+                    self.children.len(),
+                )
+            };
+            self.trace.push(PhaseTrace {
+                phase: self.phase,
+                known,
+                expected,
+                votes: composed.vote_count(),
+                at: round,
+            });
+        }
 
         // Addr consistency: everything the composed aggregate claims to
         // cover must actually live inside the scope it is keyed under.
+        // (Counted contributor sets carry no identity to check; their
+        // disjointness rests on the structural dedup above.)
         #[cfg(feature = "strict-invariants")]
-        {
+        if composed.votes().is_exact() {
             let scope = self.scope;
             let index = &self.index;
             assert!(
@@ -520,13 +541,16 @@ impl<A: Aggregate> HierGossip<A> {
 
     /// Record a received vote. Only votes of the member's own grid box
     /// belong in its phase-1 aggregate (gossip never crosses boxes in
-    /// phase 1, but guard the invariant anyway). Returns whether the
-    /// vote was new.
+    /// phase 1, but guard the invariant anyway — `position_in` answers
+    /// `None` for members of other boxes). Returns whether the vote was
+    /// new.
     fn learn_vote(&mut self, member: MemberId, value: f64) -> bool {
-        if self.index.box_of(member) == self.my_box && self.have_vote.insert(member.0) {
-            self.known_votes.push((member, value));
-            self.vote_batch = None; // cached gossip body is stale
-            return true;
+        if let Some(pos) = self.index.position_in(&self.my_box, member) {
+            if self.have_vote.insert(pos) {
+                self.known_votes.push((member, value));
+                self.vote_batch = None; // cached gossip body is stale
+                return true;
+            }
         }
         false
     }
@@ -542,9 +566,10 @@ impl<A: Aggregate> HierGossip<A> {
         }
         // Addr consistency: a received subtree aggregate must only cover
         // members of that subtree, or adopting it would double-count
-        // once sibling aggregates are composed.
+        // once sibling aggregates are composed. (Counted sets carry no
+        // identity to check.)
         #[cfg(feature = "strict-invariants")]
-        {
+        if agg.votes().is_exact() {
             let index = &self.index;
             assert!(
                 agg.votes()

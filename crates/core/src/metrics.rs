@@ -42,6 +42,11 @@ pub struct RunReport {
     pub true_value: f64,
     /// Network accounting for the run.
     pub net: NetworkStats,
+    /// Protocol `on_round` invocations the engine performed. The
+    /// event-driven round loop only visits members with pending work
+    /// (started, alive, not yet done), so this is typically far below
+    /// `n * rounds`.
+    pub protocol_steps: u64,
 }
 
 impl RunReport {
@@ -153,6 +158,7 @@ mod tests {
                 sent: 100,
                 ..Default::default()
             },
+            protocol_steps: 0,
         }
     }
 
@@ -192,6 +198,7 @@ mod tests {
             outcomes: vec![MemberOutcome::Crashed, MemberOutcome::Crashed],
             true_value: 0.0,
             net: NetworkStats::default(),
+            protocol_steps: 0,
         };
         assert_eq!(r.mean_completeness(), None);
         assert_eq!(r.mean_incompleteness(), 1.0);

@@ -395,6 +395,7 @@ mod tests {
             ],
             true_value: 4.0,
             net: NetworkStats::default(),
+            protocol_steps: 0,
         };
         let e = EpochReport {
             epoch: 0,
@@ -411,6 +412,7 @@ mod tests {
             outcomes: vec![completed(5.0), completed(1.0), completed(7.0)],
             true_value: 5.0,
             net: NetworkStats::default(),
+            protocol_steps: 0,
         };
         let e = EpochReport {
             epoch: 0,

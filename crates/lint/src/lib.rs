@@ -29,6 +29,12 @@
 //!   `aggregate` crate). Conversions go through the audited helpers in
 //!   `gridagg_aggregate`'s `conv` module, which carry exactness and
 //!   range assertions under `strict-invariants`.
+//! - **D005** — no `unsafe` blocks or unchecked indexing
+//!   (`.get_unchecked`/`.get_unchecked_mut`) in protocol-state crates.
+//!   The struct-of-arrays member storage is addressed by raw `u32`
+//!   indexes into dense `Vec`s; every access must stay bounds-checked
+//!   so an index bug surfaces as a panic in CI, not silent memory
+//!   corruption at N=10^6.
 //!
 //! # Waivers
 //!
@@ -70,10 +76,12 @@ pub enum Rule {
     D003,
     /// Bare `as` float↔int casts in aggregate math.
     D004,
+    /// `unsafe` / unchecked indexing in protocol-state crates.
+    D005,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 4] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004];
+pub const ALL_RULES: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005];
 
 impl Rule {
     /// The rule identifier as written in waivers, e.g. `"D001"`.
@@ -83,6 +91,7 @@ impl Rule {
             Rule::D002 => "D002",
             Rule::D003 => "D003",
             Rule::D004 => "D004",
+            Rule::D005 => "D005",
         }
     }
 
@@ -93,16 +102,18 @@ impl Rule {
             Rule::D002 => "wall clock / OS thread / process state outside runtime+bench",
             Rule::D003 => "panicking call in decode/on_* handler path",
             Rule::D004 => "bare `as` float<->int cast in aggregate math (use the conv module)",
+            Rule::D005 => "unsafe / unchecked indexing in protocol-state crate (keep SoA state bounds-checked)",
         }
     }
 
-    /// Parse a rule id (`"D001"`..`"D004"`).
+    /// Parse a rule id (`"D001"`..`"D005"`).
     pub fn parse(s: &str) -> Option<Rule> {
         match s {
             "D001" => Some(Rule::D001),
             "D002" => Some(Rule::D002),
             "D003" => Some(Rule::D003),
             "D004" => Some(Rule::D004),
+            "D005" => Some(Rule::D005),
             _ => None,
         }
     }
@@ -492,6 +503,30 @@ const D004_INT_CASTS: &[&str] = &[
     " as isize",
 ];
 
+/// D005 unchecked-access tokens. `.get_unchecked` also matches
+/// `.get_unchecked_mut`; the raw-parts constructors cover hand-rolled
+/// slice aliasing.
+const D005_PATTERNS: &[&str] = &[".get_unchecked", "from_raw_parts"];
+
+/// Whether `code` contains `word` delimited by non-identifier
+/// characters (so `unsafe_flag` does not match `unsafe`).
+fn contains_word(code: &str, word: &str) -> bool {
+    let b = code.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut start = 0usize;
+    while let Some(pos) = code[start..].find(word) {
+        let i = start + pos;
+        let j = i + word.len();
+        let left_ok = i == 0 || !is_ident(b[i - 1]);
+        let right_ok = j == b.len() || !is_ident(b[j]);
+        if left_ok && right_ok {
+            return true;
+        }
+        start = i + 1;
+    }
+    false
+}
+
 /// Lint a single file given its workspace-relative pseudo-path (used
 /// for crate scoping) and source text. Pure function — the unit the
 /// fixture tests drive.
@@ -503,6 +538,7 @@ pub fn lint_source(path: &str, src: &str) -> Findings {
     let d002 = !D002_EXEMPT_CRATES.contains(&krate);
     let d003 = PROTOCOL_STATE_CRATES.contains(&krate);
     let d004 = krate == "aggregate";
+    let d005 = PROTOCOL_STATE_CRATES.contains(&krate);
 
     // Brace-depth walk: track #[cfg(test)] regions (skipped entirely)
     // and the innermost enclosing `fn` (for D003 scoping).
@@ -619,6 +655,10 @@ pub fn lint_source(path: &str, src: &str) -> Findings {
             if int_to_float || float_to_int {
                 fire(Rule::D004, &mut raw_violations);
             }
+        }
+        if d005 && (contains_word(code, "unsafe") || D005_PATTERNS.iter().any(|p| code.contains(p)))
+        {
+            fire(Rule::D005, &mut raw_violations);
         }
     }
 
@@ -881,6 +921,38 @@ fn f() {
         assert_eq!(f.bad_waivers.len(), 1);
         assert_eq!(f.violations.len(), 1, "violation must survive");
         assert!(!f.is_clean());
+    }
+
+    #[test]
+    fn d005_fires_on_unsafe_and_unchecked_indexing() {
+        let src = "\
+fn f(v: &[u32], i: usize) -> u32 {
+    unsafe { *v.get_unchecked(i) }
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].rule, Rule::D005);
+        assert_eq!(f.violations[0].line, 2);
+        // Out of scope in non-protocol crates.
+        assert!(lint_source("crates/bench/src/x.rs", src)
+            .violations
+            .is_empty());
+        // Identifiers merely containing the keyword don't match.
+        let ident = "fn g() { let unsafe_count = 1; let _ = unsafe_count; }\n";
+        assert!(lint_source("crates/core/src/x.rs", ident)
+            .violations
+            .is_empty());
+        // Waiverable like every other rule.
+        let waived = "\
+fn f(v: &[u32], i: usize) -> u32 {
+    // lint:allow(D005) bounds proven by the caller's bitset invariant
+    unsafe { *v.get_unchecked(i) }
+}
+";
+        let f = lint_source("crates/core/src/x.rs", waived);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.waived.len(), 1);
     }
 
     #[test]

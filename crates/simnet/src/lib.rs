@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
+pub mod bitset;
 pub mod delay;
 pub mod detcol;
 pub mod loss;

@@ -135,6 +135,67 @@ fn traced_hiergossip_matches_untraced_and_seed_trace_counts() {
 }
 
 #[test]
+fn event_driven_engine_trace_is_byte_identical() {
+    // The struct-of-arrays engine rewrite (event-driven round loop,
+    // bitset vote sets, ring-buffered message queue) must not move a
+    // single event: these are FNV-1a fingerprints over the debug
+    // rendering of the *complete* trace stream, frozen from the dense
+    // per-member scan. Any reordering, added, or dropped event — even
+    // two swapped deliveries inside one round — changes the hash.
+    for (n, seed, events, fingerprint) in [
+        (256usize, 7u64, 27706usize, 0xf959_bd98_aaa1_ba54u64),
+        (1024, 11, 159084, 0x887b_75fd_3307_1046),
+    ] {
+        let (_, trace) = run_hiergossip_traced::<Average>(&cfg(n), seed);
+        assert_eq!(trace.len(), events, "n={n}: trace event count");
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in &trace.events {
+            for byte in format!("{event:?}").bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        assert_eq!(hash, fingerprint, "n={n}: trace fingerprint {hash:#x}");
+    }
+}
+
+#[test]
+fn counted_vote_sets_track_exact_cardinality_under_dedup_merges() {
+    use gridagg::aggregate::VoteSet;
+
+    // Mirror the merge discipline of the gossip protocols: every member
+    // contributes exactly once (the protocols dedup on first reception
+    // before touching the set), and partial aggregates from disjoint
+    // subgroups are unioned upward. Under that discipline the counted
+    // representation — which the engine switches to above
+    // `EXACT_TRACK_MAX` — must report the same cardinality as the exact
+    // bitset at every step of the merge tree.
+    let scale = 1 << 20; // forces the counted representation
+    for group_size in [256usize, 1024] {
+        let mut exact_root = VoteSet::new(group_size);
+        let mut counted_root = VoteSet::for_scale(scale);
+        for chunk_base in (0..group_size).step_by(64) {
+            let mut exact_part = VoteSet::new(group_size);
+            let mut counted_part = VoteSet::for_scale(scale);
+            for member in chunk_base..(chunk_base + 64).min(group_size) {
+                exact_part.union_with(&VoteSet::singleton(member, group_size));
+                counted_part.union_with(&VoteSet::singleton_for_scale(member, scale));
+                assert_eq!(exact_part.len(), counted_part.len());
+            }
+            assert!(exact_root.is_disjoint(&exact_part));
+            assert!(counted_root.is_disjoint(&counted_part));
+            exact_root.union_with(&exact_part);
+            counted_root.union_with(&counted_part);
+            assert_eq!(exact_root.len(), counted_root.len());
+        }
+        assert_eq!(exact_root.len(), group_size);
+        assert_eq!(counted_root.len(), group_size);
+        assert!(exact_root.is_exact());
+        assert!(!counted_root.is_exact());
+    }
+}
+
+#[test]
 fn flatgossip_matches_seed_behavior() {
     for (n, seed, golden) in [
         (
