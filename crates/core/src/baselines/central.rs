@@ -224,7 +224,16 @@ impl<A: Aggregate> AggregationProtocol<A> for Centralized<A> {
                 });
                 self.finish(ctx.round, agg);
             }
-            _ => {}
+            // A Vote reaching a non-leader is mis-routed; drop it.
+            Payload::Vote { .. } => {}
+            // Centralized never sends subtree aggregates, batches, or
+            // flow exchanges; explicit ignore arms so a new Payload
+            // variant is a compile-time decision here, not a silent
+            // drop.
+            Payload::Agg { .. }
+            | Payload::VoteBatch { .. }
+            | Payload::AggBatch { .. }
+            | Payload::Flow { .. } => {}
         }
     }
 

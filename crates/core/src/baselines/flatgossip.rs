@@ -125,18 +125,29 @@ impl<A: Aggregate> AggregationProtocol<A> for FlatGossip<A> {
         if self.done_at.is_some() {
             return;
         }
-        if let Payload::Vote { member, value } = payload {
-            if self.have.insert(member.0) {
-                self.known.push((member, value));
-                let me = self.me;
-                let round = ctx.round;
-                let votes = self.known.len() as u64;
-                ctx.emit(|| TraceEvent::Coverage {
-                    member: me,
-                    round,
-                    votes,
-                });
+        match payload {
+            Payload::Vote { member, value } => {
+                if self.have.insert(member.0) {
+                    self.known.push((member, value));
+                    let me = self.me;
+                    let round = ctx.round;
+                    let votes = self.known.len() as u64;
+                    ctx.emit(|| TraceEvent::Coverage {
+                        member: me,
+                        round,
+                        votes,
+                    });
+                }
             }
+            // Flat gossip exchanges single votes only; every other
+            // wire shape is explicitly ignored so a new Payload
+            // variant is a compile-time decision here, not a silent
+            // drop.
+            Payload::Agg { .. }
+            | Payload::Final { .. }
+            | Payload::VoteBatch { .. }
+            | Payload::AggBatch { .. }
+            | Payload::Flow { .. } => {}
         }
     }
 

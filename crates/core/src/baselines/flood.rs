@@ -109,23 +109,33 @@ impl<A: Aggregate> AggregationProtocol<A> for Flood<A> {
         if self.done_at.is_some() {
             return;
         }
-        if let Payload::Vote { member, value } = payload {
-            // each member floods its own vote exactly once, but be
-            // robust to duplicates anyway
-            let before = self.acc.vote_count();
-            let _ = self
-                .acc
-                .try_merge(&Tagged::from_vote(member.index(), value, self.n));
-            if self.acc.vote_count() != before {
-                let me = self.me;
-                let round = ctx.round;
-                let votes = self.acc.vote_count() as u64;
-                ctx.emit(|| TraceEvent::Coverage {
-                    member: me,
-                    round,
-                    votes,
-                });
+        match payload {
+            Payload::Vote { member, value } => {
+                // each member floods its own vote exactly once, but be
+                // robust to duplicates anyway
+                let before = self.acc.vote_count();
+                let _ = self
+                    .acc
+                    .try_merge(&Tagged::from_vote(member.index(), value, self.n));
+                if self.acc.vote_count() != before {
+                    let me = self.me;
+                    let round = ctx.round;
+                    let votes = self.acc.vote_count() as u64;
+                    ctx.emit(|| TraceEvent::Coverage {
+                        member: me,
+                        round,
+                        votes,
+                    });
+                }
             }
+            // Flood gossips single votes only; every other wire shape
+            // is explicitly ignored so a new Payload variant is a
+            // compile-time decision here, not a silent drop.
+            Payload::Agg { .. }
+            | Payload::Final { .. }
+            | Payload::VoteBatch { .. }
+            | Payload::AggBatch { .. }
+            | Payload::Flow { .. } => {}
         }
     }
 

@@ -277,57 +277,25 @@ impl AggregationProtocol<Average> for FlowUpdating {
         if self.done_at.is_some() {
             return;
         }
-        if let Payload::Flow {
-            flow,
-            estimate,
-            reply,
-            influenced,
-        } = payload
-        {
-            // stale senders no longer in the overlay are ignored
-            if let Ok(pos) = self.neighbors.binary_search_by_key(&from, |s| s.id) {
-                {
-                    let s = &mut self.neighbors[pos];
-                    // the sender lent us `flow`; our matching flow is
-                    // its negation (anti-symmetry restores Σe = Σv)
-                    s.flow = -flow;
-                    s.estimate = Some(estimate);
-                    s.last_heard = Some(ctx.round);
-                }
-                let before = self.influenced.len();
-                self.influenced.union_with(&influenced);
-                if self.influenced.len() != before && ctx.is_traced() {
-                    let me = self.me;
-                    let round = ctx.round;
-                    let votes = self.influenced.len() as u64;
-                    ctx.emit(|| TraceEvent::Coverage {
-                        member: me,
-                        round,
-                        votes,
-                    });
-                }
-                if !reply {
-                    // responder half of the exchange: average with the
-                    // initiator's fresh estimate and answer with the
-                    // adjusted flow. Lending `e_here − midpoint` moves
-                    // us exactly onto the midpoint; the initiator lands
-                    // there too once it adopts the answer.
-                    let e_here = self.local_estimate();
-                    let midpoint = (e_here + estimate) / 2.0;
-                    let s = &mut self.neighbors[pos];
-                    s.flow += e_here - midpoint;
-                    s.estimate = Some(midpoint);
-                    out.send(
-                        from,
-                        Payload::Flow {
-                            flow: s.flow,
-                            estimate: midpoint,
-                            reply: true,
-                            influenced: Arc::new(self.influenced.clone()),
-                        },
-                    );
-                }
+        match payload {
+            Payload::Flow {
+                flow,
+                estimate,
+                reply,
+                influenced,
+            } => {
+                // stale senders no longer in the overlay are ignored
+                self.on_flow(from, flow, estimate, reply, &influenced, ctx, out);
             }
+            // Flow-Updating speaks only the Flow exchange; every other
+            // wire shape is explicitly ignored so a new Payload
+            // variant is a compile-time decision here, not a silent
+            // drop.
+            Payload::Vote { .. }
+            | Payload::Agg { .. }
+            | Payload::Final { .. }
+            | Payload::VoteBatch { .. }
+            | Payload::AggBatch { .. } => {}
         }
     }
 
@@ -341,6 +309,68 @@ impl AggregationProtocol<Average> for FlowUpdating {
 
     fn completed_at(&self) -> Option<Round> {
         self.done_at
+    }
+}
+
+impl FlowUpdating {
+    /// Body of the `Payload::Flow` handler: fold the sender's lent
+    /// flow into our ledger and, on the responder half, answer with
+    /// the midpoint-adjusted flow. The parameter list mirrors the
+    /// wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    fn on_flow(
+        &mut self,
+        from: MemberId,
+        flow: f64,
+        estimate: f64,
+        reply: bool,
+        influenced: &VoteSet,
+        ctx: &mut Ctx<'_>,
+        out: &mut Outbox<Average>,
+    ) {
+        if let Ok(pos) = self.neighbors.binary_search_by_key(&from, |s| s.id) {
+            {
+                let s = &mut self.neighbors[pos];
+                // the sender lent us `flow`; our matching flow is
+                // its negation (anti-symmetry restores Σe = Σv)
+                s.flow = -flow;
+                s.estimate = Some(estimate);
+                s.last_heard = Some(ctx.round);
+            }
+            let before = self.influenced.len();
+            self.influenced.union_with(influenced);
+            if self.influenced.len() != before && ctx.is_traced() {
+                let me = self.me;
+                let round = ctx.round;
+                let votes = self.influenced.len() as u64;
+                ctx.emit(|| TraceEvent::Coverage {
+                    member: me,
+                    round,
+                    votes,
+                });
+            }
+            if !reply {
+                // responder half of the exchange: average with the
+                // initiator's fresh estimate and answer with the
+                // adjusted flow. Lending `e_here − midpoint` moves
+                // us exactly onto the midpoint; the initiator lands
+                // there too once it adopts the answer.
+                let e_here = self.local_estimate();
+                let midpoint = (e_here + estimate) / 2.0;
+                let s = &mut self.neighbors[pos];
+                s.flow += e_here - midpoint;
+                s.estimate = Some(midpoint);
+                out.send(
+                    from,
+                    Payload::Flow {
+                        flow: s.flow,
+                        estimate: midpoint,
+                        reply: true,
+                        influenced: Arc::new(self.influenced.clone()),
+                    },
+                );
+            }
+        }
     }
 }
 

@@ -149,12 +149,14 @@ where
         (report, self.protocols)
     }
 
+    // lint:hot — the engine round loop: N=10^6 members visit this code
+    // every round, so allocations must be per-run scratch, not per-round.
     fn drive<S: TraceSink>(&mut self, sink: &mut S) -> RunReport {
         let n = self.protocols.len();
         let mut out = Outbox::new();
         // Delivery scratch, reused every round: `drain_into` refills it
         // in place, so the steady state is zero per-round allocation.
-        let mut delivery = Vec::new();
+        let mut delivery = Vec::new(); // lint:allow(D009) per-run scratch, refilled in place each round
         let mut round: Round = 0;
         let mut protocol_steps: u64 = 0;
 
@@ -186,7 +188,7 @@ where
         }
         // Visit scratch: the ascending union of active ∪ due, rebuilt
         // each round so the sets can be edited while visiting.
-        let mut visit: Vec<u32> = Vec::new();
+        let mut visit: Vec<u32> = Vec::new(); // lint:allow(D009) per-run scratch, reused across rounds
 
         if S::ENABLED {
             for i in self.started.iter() {
@@ -368,11 +370,12 @@ where
             rounds: round,
             outcomes,
             true_value: self.true_value,
-            net: self.net.stats().clone(),
+            net: self.net.stats().clone(), // lint:allow(D009) once at end of run, building the report
             protocol_steps,
         }
     }
 
+    // lint:hot — per-member outbox fan-out, called for every visit.
     fn flush<S: TraceSink>(
         net: &mut SimNetwork<Payload<A>>,
         round: Round,

@@ -446,6 +446,8 @@ impl<A: Aggregate> HierGossip<A> {
     /// One gossip emission: pick `M` gossipees in the current scope and
     /// send them the current-phase values (one random value or the full
     /// known set, per [`Exchange`]).
+    // lint:hot — every member gossips every round; batches and pick
+    // buffers are cached scratch, not rebuilt here.
     fn gossip(&mut self, ctx: &mut Ctx<'_>, out: &mut Outbox<A>) {
         // The payload is built before gossipees are sampled (the RNG
         // draw order is part of the protocol's deterministic behavior).
@@ -476,7 +478,7 @@ impl<A: Aggregate> HierGossip<A> {
                             .aggs
                             .get(&subtree)
                             .expect("candidate filtered by presence")
-                            .clone(),
+                            .clone(), // lint:allow(D009) Arc refcount bump, no heap allocation
                     },
                     None => return, // cannot happen: own child present
                 }
@@ -695,6 +697,7 @@ impl<A: Aggregate> HierGossip<A> {
 }
 
 impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
+    // lint:hot — the per-round protocol step for every member.
     fn on_round(&mut self, ctx: &mut Ctx<'_>, out: &mut Outbox<A>) {
         if self.done_at.is_some() {
             return;
@@ -749,7 +752,13 @@ impl<A: Aggregate> AggregationProtocol<A> for HierGossip<A> {
             Payload::AggBatch { aggs, reply: false } => {
                 aggs.first().map(|(a, _)| (Some(a.len()), aggs.len()))
             }
-            _ => None,
+            // Replies and the non-batch shapes never get an answer.
+            Payload::VoteBatch { reply: true, .. }
+            | Payload::AggBatch { reply: true, .. }
+            | Payload::Vote { .. }
+            | Payload::Agg { .. }
+            | Payload::Final { .. }
+            | Payload::Flow { .. } => None,
         };
 
         // Learn the content. Terminated members keep serving replies

@@ -1,3 +1,4 @@
+//@path crates/core/src/fixture.rs
 //! D001 fixture: a hash collection in protocol-state code. Its
 //! iteration order is randomized per process, which breaks the
 //! byte-identical golden guarantee. Must fire D001 exactly once.

@@ -1,3 +1,4 @@
+//@path crates/core/src/fixture.rs
 //! D002 fixture: a wall-clock read in a protocol-state crate. The
 //! simulation's only clock is the round counter. Must fire D002
 //! exactly once.

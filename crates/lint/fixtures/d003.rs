@@ -1,3 +1,4 @@
+//@path crates/core/src/fixture.rs
 //! D003 fixture: a panicking call inside a protocol event handler. A
 //! malformed message must be dropped or surfaced as an error, never
 //! crash. Must fire D003 exactly once.

@@ -1,3 +1,4 @@
+//@path crates/aggregate/src/fixture.rs
 //! D004 fixture: a bare `as` widening in aggregate math. Conversions
 //! must go through the audited `conv` helpers so `strict-invariants`
 //! can assert exactness. Must fire D004 exactly once.

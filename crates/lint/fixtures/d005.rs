@@ -1,0 +1,9 @@
+//@path crates/core/src/fixture.rs
+//! D005 fixture: an `unsafe` block (with an unchecked access inside)
+//! in a protocol-state crate. Memory safety is audited at the crate
+//! boundary, not inline. Must fire D005 exactly once — the `unsafe`
+//! keyword and `.get_unchecked` on one line are one finding.
+
+fn peek(values: &[u32]) -> u32 {
+    unsafe { *values.get_unchecked(0) }
+}

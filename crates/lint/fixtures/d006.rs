@@ -1,0 +1,12 @@
+//@path crates/core/src/fixture.rs
+//! D006 fixture: a wildcard `_ =>` arm in a match over the wire enum
+//! `Payload` inside a protocol-state crate. A new variant would be
+//! silently dropped instead of forcing a handling decision at compile
+//! time. Must fire D006 exactly once, at the wildcard arm.
+
+fn route(p: Payload) {
+    match p {
+        Payload::Vote { .. } => {}
+        _ => {}
+    }
+}

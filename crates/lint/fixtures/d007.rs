@@ -1,0 +1,10 @@
+//@path crates/core/src/baselines/fixture.rs
+//! D007 fixture: a counted-set constructor outside the structurally
+//! deduping protocols. Counted `VoteSet`s drop exact contributor
+//! tracking, which is only sound where merges are disjoint by
+//! construction. Must fire D007 exactly once.
+
+fn finalize(n: usize) {
+    let acc = Tagged::<Average>::empty_for_scale(n);
+    let _ = acc;
+}

@@ -1,0 +1,14 @@
+//@path crates/core/src/fixture.rs
+//! D008 fixture: an RNG draw inside an instrumentation-gated block.
+//! Toggling the trace flag would change the random stream and break
+//! byte-identical goldens. Must fire D008 exactly once, inside the
+//! gated block only — the draw after the block is not gated.
+
+fn emit_trace(rng: &mut DetRng, member: u32) {
+    if phase_trace(member) {
+        let jitter = rng.unit();
+        let _ = jitter;
+    }
+    let ungated = rng.unit();
+    let _ = ungated;
+}

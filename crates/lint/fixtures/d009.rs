@@ -1,0 +1,16 @@
+//@path crates/core/src/fixture.rs
+//! D009 fixture: an allocation inside a `// lint:hot` function. Hot
+//! round loops must reuse scratch buffers; a fresh `Vec` per call is
+//! a per-round, per-member allocation. Must fire D009 exactly once —
+//! the allocation in the unannotated fn below is not flagged.
+
+// lint:hot
+fn hot_step(buf: &mut [u32]) -> usize {
+    let scratch = Vec::new();
+    let _: Vec<u32> = scratch;
+    buf.len()
+}
+
+fn cold_setup() -> Vec<u32> {
+    Vec::new()
+}

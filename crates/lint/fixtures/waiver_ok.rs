@@ -1,3 +1,4 @@
+//@path crates/core/src/fixture.rs
 //! Waiver fixture: the same D001 pattern as the d001 fixture, but
 //! suppressed by a `lint:allow` comment with a reason. Must produce
 //! zero violations and exactly one tallied waiver.

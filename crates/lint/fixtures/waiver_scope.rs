@@ -1,0 +1,11 @@
+//@path crates/core/src/fixture.rs
+//! Waiver-scoping fixture: a standalone `lint:allow` comment covers
+//! exactly the next line. The second identical violation two lines
+//! below is NOT covered and must still fire — one waiver, one site.
+
+fn protocol_state() {
+    // lint:allow(D001) fixture: this waiver covers only the next line
+    let covered = std::collections::HashMap::<u32, u32>::new();
+    let uncovered = std::collections::HashMap::<u32, u32>::new();
+    let _ = (covered, uncovered);
+}

@@ -1,10 +1,13 @@
 //! In-repo determinism/safety linter for the gridagg workspace.
 //!
-//! This is a deliberately small, dependency-free static-analysis pass
-//! built on a line-oriented lexer: comments and string literals are
-//! stripped (preserving line structure) so rules can pattern-match on
-//! *code* without tripping over prose, and `//` comment text is kept
-//! separately so waivers can be parsed from it.
+//! A dependency-free, two-pass static analyzer. **Pass 1** lexes each
+//! file (comments and string literals blanked, line structure
+//! preserved — see [`lexer`]) and builds a lightweight per-file item
+//! index of enums + variants, `match` expressions and their arm
+//! patterns, fn definitions and call sites, `// lint:hot` annotations
+//! and instrumentation-gated blocks (see [`index`]). **Pass 2** runs
+//! the rules: most are per-file line scans over the index; D006 is a
+//! cross-file workspace rule (see [`rules`]).
 //!
 //! # Rules
 //!
@@ -35,35 +38,62 @@
 //!   indexes into dense `Vec`s; every access must stay bounds-checked
 //!   so an index bug surfaces as a panic in CI, not silent memory
 //!   corruption at N=10^6.
+//! - **D006** — wire-schema completeness (cross-file). Every `Payload`
+//!   variant must have an `encode` arm and a `decode` arm in the wire
+//!   codec, and be handled or explicitly ignored in every protocol's
+//!   `on_message`; wildcard `_ =>` arms in matches over `Payload` in
+//!   protocol-state crates are flagged so a future variant can't be
+//!   silently dropped.
+//! - **D007** — counted-set discipline. The
+//!   `for_scale`/`singleton_for_scale`/`empty_for_scale`/
+//!   `from_vote_for_scale` constructors trade exact contributor
+//!   tracking for counts, which is only sound in structurally-deduping
+//!   protocols (hiergossip/flatgossip/leader). Flood and centralized
+//!   rely on exact `try_merge` DoubleCount rejection for correctness,
+//!   so any other call site is flagged.
+//! - **D008** — instrumentation purity. No RNG draws inside blocks
+//!   gated by trace/instrumentation flags (`phase_trace`,
+//!   `S::ENABLED`, `is_traced()`): toggling tracing must never change
+//!   the random stream, or goldens stop being byte-identical.
+//! - **D009** — hot-path allocation. Allocation-causing calls
+//!   (`Vec::new`, `vec![`, `.to_vec()`, `format!`, `collect::<Vec`,
+//!   `.clone()`, …) are flagged inside functions annotated
+//!   `// lint:hot` (the engine/hiergossip/simnet round loops).
 //!
 //! # Waivers
 //!
-//! A rule can be suppressed at a single site with a comment on the
-//! same line or the line directly above:
+//! A rule can be suppressed at a single site with a comment:
 //!
 //! ```text
 //! // lint:allow(D002) reason why this site is sound
 //! ```
 //!
 //! The reason is mandatory; a reasonless waiver is itself reported.
+//! Scoping is exact: a trailing waiver (on a line that carries code)
+//! covers only that line; a standalone comment-line waiver covers only
+//! the next line. Each waiver is consumed by at most one violation,
+//! and a waiver that matches no violation is a **fatal** finding —
+//! stale waivers must be deleted, which is what lets the committed
+//! `lint_budget.json` ratchet the exception surface (see [`budget`]).
 //! Waivers must be plain `//` comments — doc comments (`///`, `//!`)
-//! never carry them, so examples like the one above are inert. All
-//! honoured waivers are tallied in the tool's output so the exception
-//! surface stays visible.
+//! never carry them, so examples like the one above are inert.
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Crates whose state machines must stay deterministic (rule D001) and
-/// whose handler paths must stay panic-free (rule D003).
-const PROTOCOL_STATE_CRATES: &[&str] = &["core", "simnet", "hierarchy", "group", "aggregate"];
+pub mod budget;
+pub mod index;
+pub mod lexer;
+pub mod report;
+pub mod rules;
 
-/// Crates allowed to touch wall clocks, OS threads, process state and
-/// entropy (rule D002). `runtime` bridges to real sockets and clocks,
-/// `bench` measures them, and the linter itself is a CLI tool.
-const D002_EXEMPT_CRATES: &[&str] = &["runtime", "bench", "lint"];
+pub use report::{render_json, render_report};
+pub use rules::{crate_of, D002_EXEMPT_CRATES, PROTOCOL_STATE_CRATES};
+
+use index::FileIndex;
+use lexer::LexedLine;
 
 /// The rule set, in the order they are reported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -78,10 +108,28 @@ pub enum Rule {
     D004,
     /// `unsafe` / unchecked indexing in protocol-state crates.
     D005,
+    /// Wire-schema completeness for `Payload` (cross-file).
+    D006,
+    /// Counted-set constructors outside deduping protocols.
+    D007,
+    /// RNG draws inside instrumentation-gated blocks.
+    D008,
+    /// Allocations inside `// lint:hot` functions.
+    D009,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 5] = [Rule::D001, Rule::D002, Rule::D003, Rule::D004, Rule::D005];
+pub const ALL_RULES: [Rule; 9] = [
+    Rule::D001,
+    Rule::D002,
+    Rule::D003,
+    Rule::D004,
+    Rule::D005,
+    Rule::D006,
+    Rule::D007,
+    Rule::D008,
+    Rule::D009,
+];
 
 impl Rule {
     /// The rule identifier as written in waivers, e.g. `"D001"`.
@@ -92,6 +140,10 @@ impl Rule {
             Rule::D003 => "D003",
             Rule::D004 => "D004",
             Rule::D005 => "D005",
+            Rule::D006 => "D006",
+            Rule::D007 => "D007",
+            Rule::D008 => "D008",
+            Rule::D009 => "D009",
         }
     }
 
@@ -102,20 +154,25 @@ impl Rule {
             Rule::D002 => "wall clock / OS thread / process state outside runtime+bench",
             Rule::D003 => "panicking call in decode/on_* handler path",
             Rule::D004 => "bare `as` float<->int cast in aggregate math (use the conv module)",
-            Rule::D005 => "unsafe / unchecked indexing in protocol-state crate (keep SoA state bounds-checked)",
+            Rule::D005 => {
+                "unsafe / unchecked indexing in protocol-state crate (keep SoA state bounds-checked)"
+            }
+            Rule::D006 => {
+                "wire-schema completeness: every Payload variant needs codec + handler arms, no wildcards"
+            }
+            Rule::D007 => {
+                "counted-set constructor outside hiergossip/flatgossip/leader (breaks exact dedup)"
+            }
+            Rule::D008 => {
+                "RNG draw inside instrumentation-gated block (tracing must not perturb goldens)"
+            }
+            Rule::D009 => "allocation inside a `// lint:hot` function",
         }
     }
 
-    /// Parse a rule id (`"D001"`..`"D005"`).
+    /// Parse a rule id (`"D001"`..`"D009"`).
     pub fn parse(s: &str) -> Option<Rule> {
-        match s {
-            "D001" => Some(Rule::D001),
-            "D002" => Some(Rule::D002),
-            "D003" => Some(Rule::D003),
-            "D004" => Some(Rule::D004),
-            "D005" => Some(Rule::D005),
-            _ => None,
-        }
+        ALL_RULES.iter().copied().find(|r| r.id() == s)
     }
 }
 
@@ -136,6 +193,8 @@ pub struct Violation {
     pub line: usize,
     /// The offending source line, trimmed.
     pub excerpt: String,
+    /// Site-specific diagnosis (which pattern/variant/constructor).
+    pub detail: String,
 }
 
 /// A violation that was suppressed by a `lint:allow` waiver.
@@ -163,6 +222,18 @@ pub struct BadWaiver {
     pub problem: String,
 }
 
+/// A waiver that matched no violation. Fatal: stale waivers hide the
+/// real exception surface and defeat the budget ratchet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnusedWaiver {
+    /// The rule the waiver named.
+    pub rule: Rule,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number of the waiver comment.
+    pub line: usize,
+}
+
 /// The outcome of linting one file or a whole tree.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Findings {
@@ -172,17 +243,17 @@ pub struct Findings {
     pub waived: Vec<Waived>,
     /// Malformed waivers — these also fail the build.
     pub bad_waivers: Vec<BadWaiver>,
-    /// Waivers that matched no violation (informational only).
-    pub unused_waivers: Vec<(Rule, String, usize)>,
+    /// Waivers that matched no violation — these also fail the build.
+    pub unused_waivers: Vec<UnusedWaiver>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl Findings {
-    /// Whether the tree is clean: no unwaivered violations and no
-    /// malformed waivers.
+    /// Whether the tree is clean: no unwaivered violations, no
+    /// malformed waivers, and no stale (unused) waivers.
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty() && self.bad_waivers.is_empty()
+        self.violations.is_empty() && self.bad_waivers.is_empty() && self.unused_waivers.is_empty()
     }
 
     fn absorb(&mut self, other: Findings) {
@@ -192,242 +263,30 @@ impl Findings {
         self.unused_waivers.extend(other.unused_waivers);
         self.files_scanned += other.files_scanned;
     }
+
+    fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.waived
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        self.bad_waivers
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.unused_waivers
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
 }
 
-/// One source line after lexing: code with comments/strings blanked
-/// out, plus the text of any `//` comment that started on the line.
+/// A parsed `lint:allow` waiver with its exact target line.
 #[derive(Debug, Clone)]
-struct LexedLine {
-    code: String,
-    comment: Option<String>,
-}
-
-/// Strip comments and string/char literals from `src`, preserving the
-/// line structure exactly (every `\n` survives; removed spans become
-/// spaces). Line-comment text is captured per line for waiver parsing.
-fn lex(src: &str) -> Vec<LexedLine> {
-    let bytes = src.as_bytes();
-    let mut code = String::with_capacity(src.len());
-    let mut comments: Vec<(usize, String)> = Vec::new();
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        match c {
-            '\n' => {
-                code.push('\n');
-                line += 1;
-                i += 1;
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                // Line comment: blank the span. Only plain `//`
-                // comments can carry waivers — doc comments (`///`,
-                // `//!`) are prose about code, not annotations on it,
-                // so a waiver example in documentation never fires.
-                let start = i;
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    code.push(' ');
-                    i += 1;
-                }
-                let text = &src[start..i];
-                if !text.starts_with("///") && !text.starts_with("//!") {
-                    comments.push((line, text.to_string()));
-                }
-            }
-            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                // Block comment, possibly nested; blank it, keep newlines.
-                let mut depth = 1usize;
-                code.push(' ');
-                code.push(' ');
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        code.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        code.push_str("  ");
-                        i += 2;
-                    } else if bytes[i] == b'\n' {
-                        code.push('\n');
-                        line += 1;
-                        i += 1;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-            }
-            '"' => {
-                // Ordinary string literal (or the body of b"..."):
-                // blank contents, keep the quotes for token shape.
-                code.push('"');
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' if i + 1 < bytes.len() => {
-                            code.push_str("  ");
-                            i += 2;
-                        }
-                        b'"' => {
-                            code.push('"');
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            code.push('\n');
-                            line += 1;
-                            i += 1;
-                        }
-                        _ => {
-                            code.push(' ');
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            'r' if is_raw_string_start(bytes, i) => {
-                // Raw string r"..." / r#"..."# (any hash count).
-                let mut j = i + 1;
-                let mut hashes = 0usize;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                // Emit blanks for r##...#"
-                for _ in i..=j {
-                    code.push(' ');
-                }
-                i = j + 1; // past the opening quote
-                'raw: while i < bytes.len() {
-                    if bytes[i] == b'"' {
-                        // Check for closing hash run.
-                        let mut k = i + 1;
-                        let mut seen = 0usize;
-                        while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
-                            seen += 1;
-                            k += 1;
-                        }
-                        if seen == hashes {
-                            for _ in i..k {
-                                code.push(' ');
-                            }
-                            i = k;
-                            break 'raw;
-                        }
-                    }
-                    if bytes[i] == b'\n' {
-                        code.push('\n');
-                        line += 1;
-                    } else {
-                        code.push(' ');
-                    }
-                    i += 1;
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime. A char literal is '<esc>'
-                // or 'X'; anything else ('static, 'a in bounds) is a
-                // lifetime and passes through.
-                if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
-                    // Escaped char literal: blank until closing quote.
-                    code.push(' ');
-                    i += 1;
-                    while i < bytes.len() && bytes[i] != b'\'' {
-                        code.push(' ');
-                        i += 1;
-                    }
-                    if i < bytes.len() {
-                        code.push(' ');
-                        i += 1;
-                    }
-                } else if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                    code.push_str("   ");
-                    i += 3;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-
-    let mut lines: Vec<LexedLine> = code
-        .split('\n')
-        .map(|l| LexedLine {
-            code: l.to_string(),
-            comment: None,
-        })
-        .collect();
-    for (ln, text) in comments {
-        if let Some(slot) = lines.get_mut(ln) {
-            slot.comment = Some(text);
-        }
-    }
-    lines
-}
-
-/// Whether `bytes[i]` (== `b'r'`) starts a raw string literal rather
-/// than an identifier ending in `r`.
-fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
-    if i > 0 {
-        let prev = bytes[i - 1] as char;
-        // `br"` byte raw strings: allow a `b` prefix, reject other
-        // identifier tails (e.g. `attr"` can't occur in valid Rust).
-        if (prev.is_alphanumeric() || prev == '_') && prev != 'b' {
-            return false;
-        }
-    }
-    let mut j = i + 1;
-    while j < bytes.len() && bytes[j] == b'#' {
-        j += 1;
-    }
-    j < bytes.len() && bytes[j] == b'"'
-}
-
-/// Extract the crate name from a workspace-relative path:
-/// `crates/<name>/src/...` → `<name>`; the root `src/` → `"gridagg"`.
-fn crate_of(path: &str) -> &str {
-    let mut parts = path.split('/');
-    match parts.next() {
-        Some("crates") => parts.next().unwrap_or(""),
-        _ => "gridagg",
-    }
-}
-
-/// The last `fn <name>` declared on a lexed line, if any.
-fn fn_name_on_line(code: &str) -> Option<String> {
-    let b = code.as_bytes();
-    let mut found = None;
-    let mut i = 0usize;
-    while i + 2 < b.len() {
-        if &b[i..i + 2] == b"fn"
-            && (i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_'))
-            && b[i + 2].is_ascii_whitespace()
-        {
-            let mut j = i + 2;
-            while j < b.len() && b[j].is_ascii_whitespace() {
-                j += 1;
-            }
-            let start = j;
-            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
-                j += 1;
-            }
-            if j > start {
-                found = Some(code[start..j].to_string());
-            }
-            i = j;
-        } else {
-            i += 1;
-        }
-    }
-    found
+struct WaiverSite {
+    rule: Rule,
+    /// Line the comment is on.
+    line: usize,
+    /// The single line this waiver may suppress: its own line for a
+    /// trailing comment, the next line for a standalone comment.
+    target: usize,
+    reason: String,
+    used: bool,
 }
 
 /// Waiver declaration parsed from a `//` comment.
@@ -436,262 +295,162 @@ enum WaiverDecl {
     Bad { problem: String },
 }
 
-/// Parse `lint:allow(D00x) reason` out of a comment, if present.
-fn parse_waiver(comment: &str) -> Option<WaiverDecl> {
-    let idx = comment.find("lint:allow(")?;
-    let rest = &comment[idx + "lint:allow(".len()..];
-    let Some(close) = rest.find(')') else {
-        return Some(WaiverDecl::Bad {
-            problem: "unclosed lint:allow(".to_string(),
-        });
-    };
-    let id = rest[..close].trim();
-    let Some(rule) = Rule::parse(id) else {
-        return Some(WaiverDecl::Bad {
-            problem: format!("unknown rule id {id:?} in lint:allow"),
-        });
-    };
-    let reason = rest[close + 1..].trim().to_string();
-    if reason.is_empty() {
-        return Some(WaiverDecl::Bad {
-            problem: format!("waiver for {} has no reason", rule.id()),
-        });
-    }
-    Some(WaiverDecl::Ok { rule, reason })
-}
-
-/// D002 patterns: wall clocks, OS threads, process/env state, entropy.
-const D002_PATTERNS: &[&str] = &[
-    "SystemTime::now",
-    "Instant::now",
-    "std::thread",
-    "std::process",
-    "std::env",
-    "thread_rng",
-    "from_entropy",
-    "RandomState",
-];
-
-/// D003 patterns: calls that can panic on malformed input.
-const D003_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-];
-
-/// Line markers indicating a float-valued expression feeding a `as
-/// u*`/`as i*` cast (the D004 float→int direction).
-const D004_FLOAT_MARKERS: &[&str] = &[
-    ".ceil()", ".floor()", ".round()", ".trunc()", ".sqrt()", ": f64", ": f32",
-];
-
-/// Integer-target cast tokens for D004's float→int direction.
-const D004_INT_CASTS: &[&str] = &[
-    " as u8",
-    " as u16",
-    " as u32",
-    " as u64",
-    " as u128",
-    " as usize",
-    " as i8",
-    " as i16",
-    " as i32",
-    " as i64",
-    " as i128",
-    " as isize",
-];
-
-/// D005 unchecked-access tokens. `.get_unchecked` also matches
-/// `.get_unchecked_mut`; the raw-parts constructors cover hand-rolled
-/// slice aliasing.
-const D005_PATTERNS: &[&str] = &[".get_unchecked", "from_raw_parts"];
-
-/// Whether `code` contains `word` delimited by non-identifier
-/// characters (so `unsafe_flag` does not match `unsafe`).
-fn contains_word(code: &str, word: &str) -> bool {
-    let b = code.as_bytes();
-    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
-    let mut start = 0usize;
-    while let Some(pos) = code[start..].find(word) {
-        let i = start + pos;
-        let j = i + word.len();
-        let left_ok = i == 0 || !is_ident(b[i - 1]);
-        let right_ok = j == b.len() || !is_ident(b[j]);
-        if left_ok && right_ok {
-            return true;
+/// Parse every `lint:allow(D00x) reason` in a comment. A comment may
+/// carry several waivers (two rules firing on one line); each reason
+/// runs until the next `lint:allow(` or the end of the comment.
+fn parse_waivers(comment: &str) -> Vec<WaiverDecl> {
+    const NEEDLE: &str = "lint:allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(idx) = rest.find(NEEDLE) {
+        let after = &rest[idx + NEEDLE.len()..];
+        let Some(close) = after.find(')') else {
+            out.push(WaiverDecl::Bad {
+                problem: "unclosed lint:allow(".to_string(),
+            });
+            return out;
+        };
+        let id = after[..close].trim();
+        let tail = &after[close + 1..];
+        let reason_end = tail.find(NEEDLE).unwrap_or(tail.len());
+        let reason = tail[..reason_end].trim().to_string();
+        match Rule::parse(id) {
+            None => out.push(WaiverDecl::Bad {
+                problem: format!("unknown rule id {id:?} in lint:allow"),
+            }),
+            Some(rule) if reason.is_empty() => out.push(WaiverDecl::Bad {
+                problem: format!("waiver for {} has no reason", rule.id()),
+            }),
+            Some(rule) => out.push(WaiverDecl::Ok { rule, reason }),
         }
-        start = i + 1;
+        rest = tail;
     }
-    false
+    out
 }
 
-/// Lint a single file given its workspace-relative pseudo-path (used
-/// for crate scoping) and source text. Pure function — the unit the
-/// fixture tests drive.
-pub fn lint_source(path: &str, src: &str) -> Findings {
-    let krate = crate_of(path);
-    let lines = lex(src);
+/// Everything pass 1 extracts from one file. Pass 2's cross-file rules
+/// read the `index`; waiver application then folds raw violations into
+/// [`Findings`].
+pub(crate) struct FileAnalysis {
+    pub(crate) path: String,
+    pub(crate) lines: Vec<LexedLine>,
+    pub(crate) excerpts: Vec<String>,
+    pub(crate) index: FileIndex,
+    raw: Vec<Violation>,
+    waivers: Vec<WaiverSite>,
+    bad_waivers: Vec<BadWaiver>,
+}
 
-    let d001 = PROTOCOL_STATE_CRATES.contains(&krate);
-    let d002 = !D002_EXEMPT_CRATES.contains(&krate);
-    let d003 = PROTOCOL_STATE_CRATES.contains(&krate);
-    let d004 = krate == "aggregate";
-    let d005 = PROTOCOL_STATE_CRATES.contains(&krate);
+/// Pass 1 for a single file: lex, build the item index, run the
+/// per-file rules, and collect waiver declarations.
+fn analyze_file(path: &str, src: &str) -> FileAnalysis {
+    let lines = lexer::lex(src);
+    let excerpts: Vec<String> = src.lines().map(|l| l.trim().to_string()).collect();
+    let index = index::build_index(&lines, rules::GATE_PATTERNS);
 
-    // Brace-depth walk: track #[cfg(test)] regions (skipped entirely)
-    // and the innermost enclosing `fn` (for D003 scoping).
-    let mut depth: i32 = 0;
-    let mut paren_depth: i32 = 0; // ( and [ — so `[u8; 4]` in a signature isn't a statement end
-    let mut test_region: Option<i32> = None; // depth at region's opening brace
-    let mut pending_test_attr = false;
-    let mut fn_stack: Vec<(String, i32)> = Vec::new();
-    let mut pending_fn: Option<String> = None;
-
-    let mut raw_violations: Vec<Violation> = Vec::new();
-    let mut waivers: Vec<(Rule, usize, String, bool)> = Vec::new(); // rule, line, reason, used
+    let mut waivers: Vec<WaiverSite> = Vec::new();
     let mut bad_waivers: Vec<BadWaiver> = Vec::new();
-
     for (idx, lexed) in lines.iter().enumerate() {
         let lineno = idx + 1;
-        let code = lexed.code.as_str();
-        let in_test_at_start = test_region.is_some();
-
-        if let Some(comment) = &lexed.comment {
-            match parse_waiver(comment) {
-                Some(WaiverDecl::Ok { rule, reason }) => {
-                    waivers.push((rule, lineno, reason, false));
-                }
-                Some(WaiverDecl::Bad { problem }) => {
-                    bad_waivers.push(BadWaiver {
-                        file: path.to_string(),
-                        line: lineno,
-                        problem,
-                    });
-                }
-                None => {}
-            }
-        }
-
-        if code.contains("#[cfg(test)]") {
-            pending_test_attr = true;
-        }
-        if let Some(name) = fn_name_on_line(code) {
-            pending_fn = Some(name);
-        }
-
-        // Innermost fn covering any part of this line: the one active
-        // at line start, updated if a new body opens mid-line.
-        let mut fn_for_line: Option<String> = fn_stack.last().map(|(n, _)| n.clone());
-
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    if pending_test_attr {
-                        test_region = test_region.or(Some(depth));
-                        pending_test_attr = false;
-                    } else if let Some(name) = pending_fn.take() {
-                        fn_for_line = Some(name.clone());
-                        fn_stack.push((name, depth));
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if test_region == Some(depth) {
-                        test_region = None;
-                    }
-                    while fn_stack.last().is_some_and(|&(_, d)| d >= depth) {
-                        fn_stack.pop();
-                    }
-                }
-                '(' | '[' => paren_depth += 1,
-                ')' | ']' => paren_depth -= 1,
-                ';' if paren_depth == 0 => {
-                    // `fn f();` trait decls and `#[cfg(test)] use x;`
-                    // never open a body or region.
-                    pending_fn = None;
-                    pending_test_attr = false;
-                }
-                _ => {}
-            }
-        }
-
-        // Skip rule matching if a test region covered the line at its
-        // start, or one opened during it.
-        let in_test = in_test_at_start || test_region.is_some();
-        if in_test {
+        let Some(comment) = &lexed.comment else {
             continue;
-        }
-
-        let fire = |rule: Rule, raw: &mut Vec<Violation>| {
-            raw.push(Violation {
-                rule,
-                file: path.to_string(),
-                line: lineno,
-                excerpt: src.lines().nth(idx).unwrap_or("").trim().to_string(),
-            });
         };
-
-        if d001 && (code.contains("HashMap") || code.contains("HashSet")) {
-            fire(Rule::D001, &mut raw_violations);
-        }
-        if d002 && D002_PATTERNS.iter().any(|p| code.contains(p)) {
-            fire(Rule::D002, &mut raw_violations);
-        }
-        if d003 {
-            let in_scope = fn_for_line
-                .as_deref()
-                .is_some_and(|f| f.starts_with("on_") || f.starts_with("decode"));
-            if in_scope && D003_PATTERNS.iter().any(|p| code.contains(p)) {
-                fire(Rule::D003, &mut raw_violations);
+        let trailing = !lexed.code.trim().is_empty();
+        for decl in parse_waivers(comment) {
+            match decl {
+                WaiverDecl::Ok { rule, reason } => waivers.push(WaiverSite {
+                    rule,
+                    line: lineno,
+                    target: if trailing { lineno } else { lineno + 1 },
+                    reason,
+                    used: false,
+                }),
+                WaiverDecl::Bad { problem } => bad_waivers.push(BadWaiver {
+                    file: path.to_string(),
+                    line: lineno,
+                    problem,
+                }),
             }
-        }
-        if d004 {
-            let int_to_float = code.contains(" as f64") || code.contains(" as f32");
-            let float_to_int = D004_INT_CASTS.iter().any(|c| code.contains(c))
-                && D004_FLOAT_MARKERS.iter().any(|m| code.contains(m));
-            if int_to_float || float_to_int {
-                fire(Rule::D004, &mut raw_violations);
-            }
-        }
-        if d005 && (contains_word(code, "unsafe") || D005_PATTERNS.iter().any(|p| code.contains(p)))
-        {
-            fire(Rule::D005, &mut raw_violations);
         }
     }
 
-    // Apply waivers: a waiver on line L covers same-rule violations on
-    // line L (trailing comment) or L+1 (comment line above the site).
+    let raw = rules::scan_file(path, &lines, &excerpts, &index);
+    FileAnalysis {
+        path: path.to_string(),
+        lines,
+        excerpts,
+        index,
+        raw,
+        waivers,
+        bad_waivers,
+    }
+}
+
+/// Fold one file's raw violations through its waivers. Each waiver
+/// suppresses at most one violation, on exactly its target line.
+fn apply_waivers(mut a: FileAnalysis) -> Findings {
     let mut findings = Findings {
         files_scanned: 1,
-        bad_waivers,
+        bad_waivers: std::mem::take(&mut a.bad_waivers),
         ..Findings::default()
     };
-    for v in raw_violations {
-        let w = waivers
+    a.raw.sort_by_key(|x| (x.line, x.rule));
+    for v in a.raw {
+        let w = a
+            .waivers
             .iter_mut()
-            .find(|(rule, wl, _, _)| *rule == v.rule && (*wl == v.line || *wl + 1 == v.line));
+            .find(|w| !w.used && w.rule == v.rule && w.target == v.line);
         match w {
-            Some((rule, _, reason, used)) => {
-                *used = true;
+            Some(w) => {
+                w.used = true;
                 findings.waived.push(Waived {
-                    rule: *rule,
+                    rule: v.rule,
                     file: v.file,
                     line: v.line,
-                    reason: reason.clone(),
+                    reason: w.reason.clone(),
                 });
             }
             None => findings.violations.push(v),
         }
     }
-    for (rule, line, _, used) in waivers {
-        if !used {
-            findings.unused_waivers.push((rule, path.to_string(), line));
+    for w in a.waivers {
+        if !w.used {
+            findings.unused_waivers.push(UnusedWaiver {
+                rule: w.rule,
+                file: a.path.clone(),
+                line: w.line,
+            });
         }
     }
     findings
+}
+
+/// Lint a set of files given as `(workspace-relative path, source)`
+/// pairs: pass 1 per file, then the cross-file pass (D006), then
+/// waiver application. Pure function — the unit the fixture tests
+/// drive.
+pub fn lint_files(files: &[(String, String)]) -> Findings {
+    let mut analyses: Vec<FileAnalysis> = files.iter().map(|(p, s)| analyze_file(p, s)).collect();
+
+    for v in rules::check_wire_schema(&analyses) {
+        if let Some(a) = analyses.iter_mut().find(|a| a.path == v.file) {
+            a.raw.push(v);
+        }
+    }
+
+    let mut findings = Findings::default();
+    for a in analyses {
+        findings.absorb(apply_waivers(a));
+    }
+    findings.sort();
+    findings
+}
+
+/// Lint a single file. Cross-file rule D006 sees only this file's
+/// items (wildcard matches still fire; codec/handler completeness
+/// needs the `Payload` definition in scope).
+pub fn lint_source(path: &str, src: &str) -> Findings {
+    lint_files(&[(path.to_string(), src.to_string())])
 }
 
 /// Recursively collect `.rs` files under `dir`, sorted for
@@ -731,7 +490,7 @@ pub fn lint_tree(workspace_root: &Path) -> io::Result<Findings> {
         rs_files_under(&root_src, &mut files)?;
     }
 
-    let mut findings = Findings::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(workspace_root)
@@ -740,88 +499,14 @@ pub fn lint_tree(workspace_root: &Path) -> io::Result<Findings> {
             .map(|c| c.as_os_str().to_string_lossy().into_owned())
             .collect::<Vec<_>>()
             .join("/");
-        let src = fs::read_to_string(&file)?;
-        findings.absorb(lint_source(&rel, &src));
+        sources.push((rel, fs::read_to_string(&file)?));
     }
-    Ok(findings)
-}
-
-/// Render findings as the human-readable report the CLI prints (also
-/// written to the `--report` file for the CI artifact).
-pub fn render_report(findings: &Findings) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "gridagg-lint: {} files scanned, {} violation(s), {} waived, {} malformed waiver(s)\n",
-        findings.files_scanned,
-        findings.violations.len(),
-        findings.waived.len(),
-        findings.bad_waivers.len(),
-    ));
-    if !findings.violations.is_empty() {
-        out.push_str("\nviolations:\n");
-        for v in &findings.violations {
-            out.push_str(&format!(
-                "  {} {}:{}: {}\n      rule: {}\n",
-                v.rule,
-                v.file,
-                v.line,
-                v.excerpt,
-                v.rule.summary()
-            ));
-        }
-    }
-    if !findings.bad_waivers.is_empty() {
-        out.push_str("\nmalformed waivers:\n");
-        for b in &findings.bad_waivers {
-            out.push_str(&format!("  {}:{}: {}\n", b.file, b.line, b.problem));
-        }
-    }
-    out.push_str("\nwaiver tally:\n");
-    if findings.waived.is_empty() {
-        out.push_str("  (none)\n");
-    } else {
-        for rule in ALL_RULES {
-            let of_rule: Vec<_> = findings.waived.iter().filter(|w| w.rule == rule).collect();
-            if of_rule.is_empty() {
-                continue;
-            }
-            out.push_str(&format!("  {} ({} site(s)):\n", rule, of_rule.len()));
-            for w in of_rule {
-                out.push_str(&format!("    {}:{} — {}\n", w.file, w.line, w.reason));
-            }
-        }
-    }
-    if !findings.unused_waivers.is_empty() {
-        out.push_str("\nunused waivers (matched no violation):\n");
-        for (rule, file, line) in &findings.unused_waivers {
-            out.push_str(&format!("  {rule} {file}:{line}\n"));
-        }
-    }
-    out
+    Ok(lint_files(&sources))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn lexer_strips_comments_and_strings() {
-        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* HashMap */ let z = 2;\n";
-        let lines = lex(src);
-        assert!(!lines[0].code.contains("HashMap"));
-        assert!(lines[0].comment.as_deref().unwrap().contains("HashMap"));
-        assert!(!lines[1].code.contains("HashMap"));
-        assert!(lines[1].code.contains("let z"));
-    }
-
-    #[test]
-    fn lexer_handles_lifetimes_and_chars() {
-        let src = "fn f<'a>(s: &'a str) -> char { 'x' }\nlet nl = '\\n';\nlet s = r#\"raw \"quote\" HashSet\"#;\n";
-        let lines = lex(src);
-        assert!(lines[0].code.contains("&'a str"));
-        assert!(!lines[0].code.contains("'x'"));
-        assert!(!lines[2].code.contains("HashSet"));
-    }
 
     #[test]
     fn cfg_test_regions_are_skipped() {
@@ -906,6 +591,61 @@ fn f() {
         assert_eq!(f.waived.len(), 2);
         assert_eq!(f.waived[0].reason, "reason one");
         assert_eq!(f.waived[1].reason, "reason two");
+        assert!(f.is_clean());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_only_the_next_line() {
+        // Regression: a waiver on line L used to match violations on
+        // both L and L+1 and could be reused across sites. It must
+        // cover exactly one violation on exactly its target line.
+        let src = "\
+fn f() {
+    // lint:allow(D002) only the first site is justified
+    let a = std::time::Instant::now();
+    let b = std::time::Instant::now();
+    let _ = (a, b);
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.waived.len(), 1);
+        assert_eq!(f.waived[0].line, 3);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].line, 4, "second site must not ride along");
+    }
+
+    #[test]
+    fn trailing_waiver_does_not_leak_to_next_line() {
+        let src = "\
+fn f() {
+    let a = std::time::Instant::now(); // lint:allow(D002) this line only
+    let b = std::time::Instant::now();
+    let _ = (a, b);
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.waived.len(), 1);
+        assert_eq!(f.waived[0].line, 2);
+        assert_eq!(f.violations.len(), 1);
+        assert_eq!(f.violations[0].line, 3);
+    }
+
+    #[test]
+    fn two_rules_one_line_need_two_waivers() {
+        let src = "\
+fn f() {
+    // lint:allow(D001) det map justified lint:allow(D002) clock justified
+    let m: HashMap<u32, std::thread::ThreadId> = make();
+    let _ = m;
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert!(f.violations.is_empty(), "{:?}", f.violations);
+        assert_eq!(f.waived.len(), 2);
+        let rules: Vec<Rule> = f.waived.iter().map(|w| w.rule).collect();
+        assert_eq!(rules, vec![Rule::D001, Rule::D002]);
+        assert_eq!(f.waived[0].reason, "det map justified");
+        assert_eq!(f.waived[1].reason, "clock justified");
     }
 
     #[test]
@@ -943,23 +683,231 @@ fn f(v: &[u32], i: usize) -> u32 {
         assert!(lint_source("crates/core/src/x.rs", ident)
             .violations
             .is_empty());
-        // Waiverable like every other rule.
-        let waived = "\
-fn f(v: &[u32], i: usize) -> u32 {
-    // lint:allow(D005) bounds proven by the caller's bitset invariant
-    unsafe { *v.get_unchecked(i) }
-}
-";
-        let f = lint_source("crates/core/src/x.rs", waived);
-        assert!(f.violations.is_empty(), "{:?}", f.violations);
-        assert_eq!(f.waived.len(), 1);
     }
 
     #[test]
-    fn unused_waiver_is_reported_not_fatal() {
+    fn unused_waiver_is_fatal() {
         let src = "// lint:allow(D001) nothing here actually uses it\nfn f() {}\n";
         let f = lint_source("crates/core/src/x.rs", src);
-        assert!(f.is_clean());
         assert_eq!(f.unused_waivers.len(), 1);
+        assert_eq!(f.unused_waivers[0].rule, Rule::D001);
+        assert_eq!(f.unused_waivers[0].line, 1);
+        assert!(!f.is_clean(), "stale waivers must fail the build");
+    }
+
+    #[test]
+    fn d006_wildcard_over_payload_fires() {
+        let src = "\
+fn on_message(&mut self, payload: Payload) {
+    match payload {
+        Payload::Vote { member, .. } => self.tally(member),
+        _ => {}
+    }
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].rule, Rule::D006);
+        assert_eq!(f.violations[0].line, 4);
+        // matches over other enums stay silent
+        let other = "\
+fn g(x: Mode) -> u32 {
+    match x {
+        Mode::A => 1,
+        _ => 0,
+    }
+}
+";
+        assert!(lint_source("crates/core/src/x.rs", other)
+            .violations
+            .is_empty());
+        // and protocol-state scoping applies
+        assert!(lint_source("crates/bench/src/x.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn d006_codec_and_handler_completeness() {
+        let src = "\
+pub enum Payload {
+    Vote,
+    Agg,
+}
+
+pub fn encode(p: &Payload) -> u8 {
+    match p {
+        Payload::Vote => 1,
+        Payload::Agg => 2,
+    }
+}
+
+pub fn decode(b: u8) -> Payload {
+    if b == 1 { Payload::Vote } else { Payload::Vote }
+}
+
+impl AggregationProtocol for P {
+    fn on_message(&mut self, p: Payload) {
+        if let Payload::Vote = p {
+            self.n += 1;
+        }
+    }
+}
+";
+        let f = lint_source("crates/core/src/message.rs", src);
+        let details: Vec<&str> = f.violations.iter().map(|v| v.detail.as_str()).collect();
+        assert_eq!(f.violations.len(), 2, "{details:?}");
+        assert!(f.violations.iter().all(|v| v.rule == Rule::D006));
+        assert!(details.iter().any(|d| d.contains("decode")), "{details:?}");
+        assert!(
+            details.iter().any(|d| d.contains("on_message")),
+            "{details:?}"
+        );
+    }
+
+    #[test]
+    fn d007_counted_constructors_scoped_to_deduping_protocols() {
+        let src = "\
+fn build(n: u32) -> VoteSet {
+    VoteSet::for_scale(n)
+}
+";
+        let f = lint_source("crates/core/src/baselines/central.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].rule, Rule::D007);
+        // allowed in the deduping protocols…
+        assert!(lint_source("crates/core/src/hiergossip.rs", src)
+            .violations
+            .is_empty());
+        // …and in the defining crate
+        assert!(lint_source("crates/aggregate/src/voteset.rs", src)
+            .violations
+            .is_empty());
+        // `singleton_for_scale` must not fire the `for_scale` pattern
+        // twice, and definitions are not calls
+        let def = "\
+impl VoteSet {
+    pub fn for_scale(n: u32) -> VoteSet {
+        VoteSet::Counted { count: 0, scale: n }
+    }
+}
+";
+        assert!(lint_source("crates/core/src/x.rs", def)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn d008_rng_in_gated_block() {
+        let src = "\
+fn on_round(&mut self, ctx: &mut Ctx) {
+    if self.cfg.phase_trace {
+        let j = ctx.rng.unit();
+        self.trace.push(j);
+    }
+    let pick = ctx.rng.below(8);
+    let _ = pick;
+}
+";
+        let f = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].rule, Rule::D008);
+        assert_eq!(f.violations[0].line, 3, "ungated draw on line 6 is fine");
+        // `rngs` (SoA field) must not word-match `rng`
+        let soa = "\
+fn drive(&mut self) {
+    if S::ENABLED {
+        self.trace.emit(&self.rngs_snapshot);
+    }
+}
+";
+        assert!(lint_source("crates/core/src/x.rs", soa)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn d009_allocations_only_in_hot_fns() {
+        let src = "\
+// lint:hot
+fn round(&mut self) {
+    let scratch = Vec::new();
+    self.go(scratch);
+}
+
+fn setup(&mut self) {
+    let scratch: Vec<u32> = Vec::new();
+    self.go(scratch);
+}
+";
+        let f = lint_source("crates/bench/src/x.rs", src);
+        assert_eq!(f.violations.len(), 1, "{:?}", f.violations);
+        assert_eq!(f.violations[0].rule, Rule::D009);
+        assert_eq!(f.violations[0].line, 3);
+    }
+
+    #[test]
+    fn cross_file_codec_check_spans_files() {
+        let message = "\
+pub enum Payload {
+    Vote,
+    Flow,
+}
+
+pub fn encode(p: &Payload) -> u8 {
+    match p {
+        Payload::Vote => 1,
+        Payload::Flow => 2,
+    }
+}
+
+pub fn decode(b: u8) -> Payload {
+    match b {
+        1 => Payload::Vote,
+        _ => Payload::Flow,
+    }
+}
+";
+        let proto = "\
+impl AggregationProtocol for P {
+    fn on_message(&mut self, p: Payload) {
+        match p {
+            Payload::Vote => self.n += 1,
+            Payload::Flow => {}
+        }
+    }
+}
+";
+        let incomplete_proto = "\
+impl AggregationProtocol for Q {
+    fn on_message(&mut self, p: Payload) {
+        if let Payload::Vote = p {
+            self.n += 1;
+        }
+    }
+}
+";
+        let clean = lint_files(&[
+            (
+                "crates/core/src/message.rs".to_string(),
+                message.to_string(),
+            ),
+            ("crates/core/src/proto.rs".to_string(), proto.to_string()),
+        ]);
+        assert!(clean.violations.is_empty(), "{:?}", clean.violations);
+        let dirty = lint_files(&[
+            (
+                "crates/core/src/message.rs".to_string(),
+                message.to_string(),
+            ),
+            (
+                "crates/core/src/proto.rs".to_string(),
+                incomplete_proto.to_string(),
+            ),
+        ]);
+        assert_eq!(dirty.violations.len(), 1, "{:?}", dirty.violations);
+        assert_eq!(dirty.violations[0].rule, Rule::D006);
+        assert_eq!(dirty.violations[0].file, "crates/core/src/proto.rs");
+        assert!(dirty.violations[0].detail.contains("Payload::Flow"));
     }
 }

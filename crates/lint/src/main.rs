@@ -1,19 +1,36 @@
-//! `gridagg-lint` CLI: lint the workspace tree, print the report,
-//! optionally write it to a file (the CI waiver-tally artifact), and
-//! exit non-zero on any unwaivered violation or malformed waiver.
+//! `gridagg-lint` CLI: lint the workspace tree, print the report in
+//! the chosen format, optionally write the human report and/or the
+//! JSON findings document to files (the CI artifacts), check the
+//! per-rule waiver budget, and exit non-zero on any unwaivered
+//! violation, malformed waiver, stale waiver, or budget overrun.
 //!
 //! Usage:
-//!   cargo run -p gridagg-lint -- [--root <dir>] [--report <file>]
+//!   cargo run -p gridagg-lint -- [--root <dir>] [--format human|json]
+//!       [--report <file>] [--json <file>] [--budget <file>]
 //!
 //! `--root` defaults to the workspace root (two levels up from this
 //! crate's manifest when run via cargo, else the current directory).
+//! `--budget` points at a `lint_budget.json`; when given, each rule's
+//! honoured-waiver count is checked against its budget: overruns fail
+//! the run, slack is reported so the budget can be ratcheted down.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: gridagg-lint [--root <dir>] [--format human|json] \
+[--report <file>] [--json <file>] [--budget <file>]";
+
+enum Format {
+    Human,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut budget_path: Option<PathBuf> = None;
+    let mut format = Format::Human;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,8 +43,22 @@ fn main() -> ExitCode {
                 Some(v) => report_path = Some(PathBuf::from(v)),
                 None => return usage("--report needs a value"),
             },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--budget" => match args.next() {
+                Some(v) => budget_path = Some(PathBuf::from(v)),
+                None => return usage("--budget needs a value"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some(other) => return usage(&format!("unknown format {other:?}")),
+                None => return usage("--format needs a value"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: gridagg-lint [--root <dir>] [--report <file>]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument {other:?}")),
@@ -43,16 +74,46 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = gridagg_lint::render_report(&findings);
-    print!("{report}");
+    // Budget check (before rendering so the human report can carry it).
+    let mut budget_text = String::new();
+    let mut budget_ok = true;
+    if let Some(path) = &budget_path {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            .and_then(|text| gridagg_lint::budget::parse_budget(&text));
+        match outcome {
+            Ok(budget) => {
+                let check = gridagg_lint::budget::check(&budget, &findings);
+                budget_ok = check.ok();
+                budget_text = gridagg_lint::budget::render_check(&check);
+            }
+            Err(e) => {
+                eprintln!("gridagg-lint: budget error: {e}");
+                budget_ok = false;
+            }
+        }
+    }
+
+    let report = format!("{}{budget_text}", gridagg_lint::render_report(&findings));
+    let json = gridagg_lint::render_json(&findings);
+    match format {
+        Format::Human => print!("{report}"),
+        Format::Json => print!("{json}"),
+    }
     if let Some(path) = report_path {
         if let Err(e) = std::fs::write(&path, &report) {
             eprintln!("gridagg-lint: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("gridagg-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
-    if findings.is_clean() {
+    if findings.is_clean() && budget_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -75,6 +136,6 @@ fn default_root() -> PathBuf {
 
 fn usage(problem: &str) -> ExitCode {
     eprintln!("gridagg-lint: {problem}");
-    eprintln!("usage: gridagg-lint [--root <dir>] [--report <file>]");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }

@@ -190,6 +190,8 @@ impl<P> SimNetwork<P> {
     /// round according to the loss, bandwidth, and delay models.
     /// `wire_bytes` is the serialized size used for byte accounting.
     /// Returns the message's fate; plain senders may ignore it.
+    // lint:hot — called once per message; the delay ring reuses its
+    // buckets in place.
     pub fn send(
         &mut self,
         round: Round,
@@ -279,6 +281,7 @@ impl<P> SimNetwork<P> {
     /// buffer (cleared first) so a round-loop can reuse one allocation
     /// for the whole run. Emptied per-round queues are recycled for
     /// future sends.
+    // lint:hot — the per-round delivery drain; must stay append-into.
     pub fn drain_into(&mut self, round: Round, due: &mut Vec<Envelope<P>>) {
         due.clear();
         if round < self.head_round {
