@@ -150,7 +150,9 @@ pub(crate) fn scan_file(
     let d003 = PROTOCOL_STATE_CRATES.contains(&krate);
     let d004 = krate == "aggregate";
     let d005 = PROTOCOL_STATE_CRATES.contains(&krate);
-    let d007 = PROTOCOL_STATE_CRATES.contains(&krate)
+    // The runtime crate hosts protocol state machines on real sockets,
+    // so the counted-set constructor restriction applies there too.
+    let d007 = (PROTOCOL_STATE_CRATES.contains(&krate) || krate == "runtime")
         && krate != "aggregate"
         && !D007_ALLOWED_FILES.contains(&path);
     let d008 = PROTOCOL_STATE_CRATES.contains(&krate);

@@ -172,6 +172,23 @@ fn fixtures_only_fire_in_scope() {
 }
 
 #[test]
+fn d007_covers_the_runtime_crate() {
+    // The runtime crate hosts protocol state machines on real sockets,
+    // so the counted-set constructor restriction extends there: the
+    // same fixture that fires in `crates/core` fires when relocated
+    // into `crates/runtime` too.
+    let (_, src) = load_fixture(&fixtures_dir().join("d007.rs"));
+    let f = lint_source("crates/runtime/src/fixture.rs", &src);
+    assert_eq!(
+        f.violations.len(),
+        1,
+        "d007.rs relocated into the runtime crate must fire, got {:?}",
+        f.violations
+    );
+    assert_eq!(f.violations[0].rule, Rule::D007);
+}
+
+#[test]
 fn workspace_tree_lints_clean() {
     // The acceptance gate: `cargo run -p gridagg-lint` over the real
     // tree reports zero unwaivered violations, zero malformed waivers

@@ -1,15 +1,33 @@
 //! # gridagg-runtime
 //!
-//! A **real-network runtime** for the Hierarchical Gossiping protocol:
-//! every group member is a thread with its own UDP socket, gossip
-//! rounds are wall-clock timer ticks, and messages are the binary wire
-//! form from `gridagg_core::message::codec` — no simulator in the loop.
+//! A **multiplexed real-network runtime** for the Hierarchical
+//! Gossiping protocol: thousands of group members share a small pool of
+//! UDP sockets and worker threads, gossip rounds are wall-clock timer
+//! ticks, and messages are the binary wire form from
+//! `gridagg_core::message::codec` — no simulator in the loop.
 //!
-//! The protocol state machine ([`HierGossip`]) is *identical* to the one
-//! the simulator drives: `AggregationProtocol` is runtime-agnostic, so
-//! the code path evaluated in the paper's figures is the code path that
-//! runs on sockets here. That separation — pure protocol logic, swap
-//! the harness — is the core design property this crate demonstrates.
+//! The protocol state machine ([`HierGossip`](gridagg_core::hiergossip::HierGossip)) is *identical* to the
+//! one the simulator drives: `AggregationProtocol` is runtime-agnostic,
+//! so the code path evaluated in the paper's figures is the code path
+//! that runs on sockets here. That separation — pure protocol logic,
+//! swap the harness — is the core design property this crate
+//! demonstrates, now at 10,000-member scale on loopback.
+//!
+//! ## Architecture
+//!
+//! - [`endpoint`] — the shared socket pool, the per-frame demux header
+//!   (`dst | src | len | payload`) that lets one socket serve many
+//!   members, and fault injection (loss models + reorder) at the socket
+//!   boundary.
+//! - [`multiplex`] — the sharded event loop: each worker thread owns a
+//!   disjoint subset of sockets and the members homed on them, with
+//!   per-member mailboxes, an outbox coalescing frames per destination
+//!   socket, and per-worker counters.
+//! - [`timer`] — the epoch-anchored timer wheel driving round and
+//!   linger deadlines, keeping round boundaries aligned across workers.
+//! - [`cluster`] — assembly, outcome collection, graceful teardown, and
+//!   the [`cluster::RuntimeReport`] mirroring the
+//!   simulator's `RunReport`.
 //!
 //! ```no_run
 //! use gridagg_runtime::{run_group, RuntimeConfig};
@@ -19,7 +37,7 @@
 //! use gridagg_hierarchy::{FairHashPlacement, Hierarchy};
 //! use gridagg_aggregate::{Aggregate, Average};
 //!
-//! # fn demo() -> std::io::Result<()> {
+//! # fn demo() -> Result<(), gridagg_runtime::RuntimeError> {
 //! let n = 32;
 //! let h = Hierarchy::for_group(4, n).unwrap();
 //! let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, 1));
@@ -38,40 +56,60 @@
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
-use std::net::UdpSocket;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
-use std::time::{Duration, Instant};
+pub mod cluster;
+pub mod endpoint;
+pub mod multiplex;
+pub mod timer;
 
-use gridagg_aggregate::wire::{EncodeMemo, WireAggregate};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gridagg_aggregate::wire::WireAggregate;
 use gridagg_aggregate::Tagged;
-use gridagg_core::hiergossip::{HierGossip, HierGossipConfig};
-use gridagg_core::message::codec;
-use gridagg_core::protocol::{AggregationProtocol, Ctx, Outbox};
+use gridagg_core::hiergossip::HierGossipConfig;
 use gridagg_core::scope::ScopeIndex;
-use gridagg_core::Payload;
 use gridagg_group::MemberId;
-use gridagg_simnet::rng::DetRng;
+use gridagg_simnet::loss::{LossModel, UniformLoss};
 
-/// Wall-clock parameters of a real-network group run.
-#[derive(Debug, Clone, Copy)]
+pub use cluster::{run_cluster, Cluster, ClusterRun, RuntimeReport};
+pub use multiplex::WorkerStats;
+
+/// Wall-clock and multiplexing parameters of a real-network cluster.
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Length of one gossip round.
     pub round_interval: Duration,
     /// Safety cap: a member gives up after this many rounds even if the
     /// protocol has not terminated.
     pub max_rounds: u64,
-    /// Send-side message drop probability (deterministic per member
-    /// stream) — lets a localhost demo exhibit the paper's loss
-    /// tolerance without a lossy network.
-    pub inject_loss: f64,
     /// Seed for per-member randomness (gossipee selection, injected
-    /// loss). The run is *not* globally deterministic — real schedulers
-    /// and sockets interleave freely — but member-local choices are.
+    /// faults). The run is *not* globally deterministic — real
+    /// schedulers and sockets interleave freely — but member-local
+    /// choices are.
     pub seed: u64,
     /// How long terminated members linger to keep answering stragglers'
-    /// pushes before the group shuts down, in rounds.
+    /// pushes before retiring, in rounds.
     pub linger_rounds: u64,
+    /// Size of the shared UDP socket pool members multiplex over.
+    pub sockets: usize,
+    /// Worker threads driving the member shards (capped at the socket
+    /// count; each worker owns the sockets `s` with `s % workers == w`).
+    pub workers: usize,
+    /// Multiplexing budget: at most `sockets × members_per_socket`
+    /// members may share the pool. Exceeding it is a loud
+    /// [`RuntimeError::BudgetExceeded`], never a hang.
+    pub members_per_socket: usize,
+    /// Byte cap per coalesced datagram (≈ one MTU of frames).
+    pub max_datagram: usize,
+    /// Resend the last flushed frames after this many rounds without
+    /// any inbound traffic (0 disables retry-on-silence).
+    pub retry_silent_rounds: u64,
+    /// Channel loss injected at the socket boundary — any simulator
+    /// [`LossModel`] (`None` = perfect channel).
+    pub loss: Option<Arc<dyn LossModel>>,
+    /// Per-datagram probability of being held back behind the next
+    /// datagram (pairwise reorder at the socket boundary).
+    pub reorder: f64,
 }
 
 impl Default for RuntimeConfig {
@@ -79,10 +117,92 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             round_interval: Duration::from_millis(5),
             max_rounds: 400,
-            inject_loss: 0.0,
             seed: 1,
             linger_rounds: 20,
+            sockets: 16,
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            members_per_socket: 256,
+            max_datagram: 1400,
+            retry_silent_rounds: 2,
+            loss: None,
+            reorder: 0.0,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Inject uniform i.i.d. loss with probability `p` at the socket
+    /// boundary — the `ucastl` knob of the paper's simulations, applied
+    /// to real datagrams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability in `[0, 1]`.
+    #[must_use]
+    pub fn with_uniform_loss(mut self, p: f64) -> Self {
+        self.loss = Some(Arc::new(
+            UniformLoss::new(p).expect("probability in [0, 1]"),
+        ));
+        self
+    }
+
+    /// Largest group the configured pool may host.
+    pub fn capacity(&self) -> usize {
+        self.sockets
+            .max(1)
+            .saturating_mul(self.members_per_socket.max(1))
+    }
+}
+
+/// Why a cluster could not run.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Socket or thread-spawn I/O failure.
+    Io(std::io::Error),
+    /// The requested member count exceeds the multiplexing budget
+    /// (`sockets × members_per_socket`). Raise the budget or shrink the
+    /// group; the runtime refuses to over-subscribe and hang.
+    BudgetExceeded {
+        /// Members requested.
+        members: usize,
+        /// Sockets in the configured pool.
+        sockets: usize,
+        /// Configured members-per-socket budget.
+        members_per_socket: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Io(e) => write!(f, "runtime I/O failure: {e}"),
+            RuntimeError::BudgetExceeded {
+                members,
+                sockets,
+                members_per_socket,
+            } => write!(
+                f,
+                "{members} members exceed the multiplexing budget of \
+                 {sockets} sockets x {members_per_socket} members/socket \
+                 (= {} max); raise RuntimeConfig::sockets or members_per_socket",
+                sockets * members_per_socket
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io(e) => Some(e),
+            RuntimeError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RuntimeError {
+    fn from(e: std::io::Error) -> Self {
+        RuntimeError::Io(e)
     }
 }
 
@@ -106,13 +226,18 @@ impl<A: WireAggregate> MemberOutcome<A> {
 }
 
 /// Run a whole group over localhost UDP and collect every member's
-/// outcome. Sockets are bound to ephemeral ports up front, so parallel
-/// runs (e.g. concurrent tests) never collide. Blocks until every
-/// member has reported (bounded by `max_rounds` ticks).
+/// outcome, sorted by member id. Sockets are bound to ephemeral ports
+/// up front, so parallel runs (e.g. concurrent tests) never collide.
+/// Blocks until every member has reported (bounded by `max_rounds`
+/// ticks); teardown joins all worker threads before returning.
+///
+/// This is the outcome-only convenience wrapper over
+/// [`run_cluster`], which additionally returns the
+/// [`RuntimeReport`].
 ///
 /// # Errors
 ///
-/// Returns any socket I/O error raised while binding.
+/// See [`Cluster::launch`].
 ///
 /// # Panics
 ///
@@ -122,158 +247,8 @@ pub fn run_group<A: WireAggregate + Send + 'static>(
     index: Arc<ScopeIndex>,
     proto_cfg: HierGossipConfig,
     rt_cfg: RuntimeConfig,
-) -> std::io::Result<Vec<MemberOutcome<A>>> {
-    let n = votes.len();
-    assert_eq!(n, index.len(), "one vote per indexed member");
-
-    // Bind everyone first and share the address table.
-    let mut sockets = Vec::with_capacity(n);
-    let mut addrs = Vec::with_capacity(n);
-    for _ in 0..n {
-        let socket = UdpSocket::bind(("127.0.0.1", 0))?;
-        addrs.push(socket.local_addr()?);
-        sockets.push(socket);
-    }
-    let addrs = Arc::new(addrs);
-
-    let (done_tx, done_rx) = mpsc::channel::<MemberOutcome<A>>();
-    let shutdown = Arc::new(AtomicBool::new(false));
-
-    let root_rng = DetRng::seeded(rt_cfg.seed);
-    let mut handles = Vec::with_capacity(n);
-    for (i, socket) in sockets.into_iter().enumerate() {
-        let me = MemberId(i as u32);
-        let proto = HierGossip::<A>::new(me, votes[i], index.clone(), proto_cfg);
-        let task = MemberTask {
-            me,
-            socket,
-            addrs: addrs.clone(),
-            proto,
-            rng: root_rng.fork(0x7275_6E00 ^ i as u64), // "run"
-            cfg: rt_cfg,
-            done: done_tx.clone(),
-            shutdown: shutdown.clone(),
-            wire: EncodeMemo::new(),
-        };
-        handles.push(std::thread::spawn(move || task.run()));
-    }
-    drop(done_tx);
-
-    // Collect one outcome per member, then release the lingerers.
-    let mut outcomes = Vec::with_capacity(n);
-    while outcomes.len() < n {
-        match done_rx.recv() {
-            Ok(o) => outcomes.push(o),
-            Err(_) => break, // all senders gone (shouldn't happen)
-        }
-    }
-    shutdown.store(true, Ordering::Relaxed);
-    for h in handles {
-        let _ = h.join();
-    }
-    outcomes.sort_by_key(|o| o.member);
-    Ok(outcomes)
-}
-
-struct MemberTask<A> {
-    me: MemberId,
-    socket: UdpSocket,
-    addrs: Arc<Vec<std::net::SocketAddr>>,
-    proto: HierGossip<A>,
-    rng: DetRng,
-    cfg: RuntimeConfig,
-    done: mpsc::Sender<MemberOutcome<A>>,
-    shutdown: Arc<AtomicBool>,
-    /// Memoized wire form of the last payload sent. Gossip fans the
-    /// same payload out to several peers (and repeats it across rounds
-    /// while state is stable), so most sends reuse the cached bytes
-    /// instead of re-encoding.
-    wire: EncodeMemo<Payload<A>>,
-}
-
-impl<A: WireAggregate> MemberTask<A> {
-    fn run(mut self) {
-        let interval = self.cfg.round_interval.max(Duration::from_micros(200));
-        let mut out = Outbox::new();
-        let mut buf = vec![0u8; 64 * 1024];
-        let mut round: u64 = 0;
-        let mut reported = false;
-        let mut linger_left = self.cfg.linger_rounds;
-        let mut next_tick = Instant::now() + interval;
-
-        loop {
-            // Round ticks on wall-clock boundaries; like a timer with
-            // "delay" missed-tick behaviour, a late tick reschedules
-            // from now rather than bursting to catch up.
-            if Instant::now() >= next_tick {
-                next_tick = Instant::now() + interval;
-                if !self.proto.is_done() && round < self.cfg.max_rounds {
-                    let mut ctx = Ctx::new(round, &mut self.rng);
-                    self.proto.on_round(&mut ctx, &mut out);
-                    self.flush(&mut out);
-                }
-                round += 1;
-                let finished = self.proto.is_done() || round >= self.cfg.max_rounds;
-                if finished && !reported {
-                    reported = true;
-                    let outcome = MemberOutcome {
-                        member: self.me,
-                        estimate: self.proto.estimate().cloned(),
-                        rounds: round,
-                    };
-                    let _ = self.done.send(outcome);
-                }
-                if reported {
-                    // linger to answer stragglers, then leave once the
-                    // coordinator signals or patience runs out
-                    if self.shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    if linger_left == 0 {
-                        return;
-                    }
-                    linger_left -= 1;
-                }
-            }
-
-            // Receive until the next tick is due.
-            let wait = next_tick
-                .saturating_duration_since(Instant::now())
-                .max(Duration::from_micros(100));
-            let _ = self.socket.set_read_timeout(Some(wait));
-            match self.socket.recv_from(&mut buf) {
-                Ok((len, from_addr)) => {
-                    let Some(from) = self.addrs.iter().position(|a| *a == from_addr) else {
-                        continue; // not a group member
-                    };
-                    let mut slice = &buf[..len];
-                    let Ok(payload) = codec::decode::<A, _>(&mut slice) else {
-                        continue; // junk datagram
-                    };
-                    let mut ctx = Ctx::new(round, &mut self.rng);
-                    self.proto
-                        .on_message(MemberId(from as u32), payload, &mut ctx, &mut out);
-                    self.flush(&mut out);
-                }
-                Err(_) => {
-                    // timeout (fall through to the tick check) or a
-                    // transient socket error — either way, keep going
-                }
-            }
-        }
-    }
-
-    fn flush(&mut self, out: &mut Outbox<A>) {
-        for (to, payload) in out.drain() {
-            if self.cfg.inject_loss > 0.0 && self.rng.chance(self.cfg.inject_loss) {
-                continue; // injected send-side loss
-            }
-            let wire = self
-                .wire
-                .bytes_for(&payload, |p, buf| codec::encode(p, buf));
-            let _ = self.socket.send_to(wire, self.addrs[to.index()]);
-        }
-    }
+) -> Result<Vec<MemberOutcome<A>>, RuntimeError> {
+    Ok(run_cluster(votes, index, proto_cfg, rt_cfg)?.outcomes)
 }
 
 #[cfg(test)]
@@ -320,10 +295,7 @@ mod tests {
     fn udp_group_tolerates_injected_loss() {
         let n = 24;
         let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
-        let cfg = RuntimeConfig {
-            inject_loss: 0.25,
-            ..Default::default()
-        };
+        let cfg = RuntimeConfig::default().with_uniform_loss(0.25);
         let outcomes =
             run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg).expect("run");
         let mean_completeness: f64 =
@@ -342,6 +314,7 @@ mod tests {
             let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let cfg = RuntimeConfig {
                 seed,
+                sockets: 4,
                 ..Default::default()
             };
             run_group::<Average>(votes, index(n), HierGossipConfig::default(), cfg).expect("run")
@@ -353,5 +326,17 @@ mod tests {
         });
         assert_eq!(a.len(), 8);
         assert_eq!(b.len(), 8);
+    }
+
+    #[test]
+    fn budget_error_is_descriptive() {
+        let err = RuntimeError::BudgetExceeded {
+            members: 100,
+            sockets: 4,
+            members_per_socket: 8,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("100 members"), "got: {msg}");
+        assert!(msg.contains("= 32 max"), "got: {msg}");
     }
 }

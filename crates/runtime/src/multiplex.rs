@@ -1,0 +1,549 @@
+//! The sharded event loop: one worker thread drives many members.
+//!
+//! A `Worker` owns a disjoint subset of the socket pool and, with it,
+//! the shard of members homed on those sockets. Its loop is a batched
+//! multiplexer:
+//!
+//! 1. **drain** — poll every owned socket non-blocking, demultiplex
+//!    frames into per-member mailboxes ([`FrameIter`] rejects garbage
+//!    as `DecodeError` values, counted not panicked);
+//! 2. **deliver** — run `on_message` for every mailbox in member order,
+//!    collecting gossip into the outbox;
+//! 3. **tick** — pop due round deadlines off the [`TimerWheel`] and run
+//!    `on_round` (plus termination, linger, and retry-on-silence
+//!    bookkeeping) for each;
+//! 4. **flush** — coalesce queued frames per destination socket into
+//!    few large datagrams, route them through the [`FaultInjector`],
+//!    and put them on the wire;
+//! 5. **sleep** until the next deadline (bounded by a short poll cap so
+//!    inbound traffic is never stalled a full round).
+//!
+//! Everything a member needs lives in its `MemberSlot`; everything a
+//! worker reuses across wakeups (receive buffer, outbox, datagram
+//! buffers, free list) is preallocated scratch, so the steady-state
+//! loop does not allocate.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use gridagg_aggregate::wire::{EncodeMemo, WireAggregate};
+use gridagg_core::hiergossip::HierGossip;
+use gridagg_core::message::codec;
+use gridagg_core::protocol::{AggregationProtocol, Ctx, Outbox};
+use gridagg_core::Payload;
+use gridagg_group::MemberId;
+use gridagg_simnet::rng::DetRng;
+
+use crate::endpoint::{frame_len, push_frame, FaultInjector, FrameIter};
+use crate::timer::TimerWheel;
+use crate::{MemberOutcome, RuntimeConfig};
+
+/// Cap on the frames a member keeps for retry-on-silence resends.
+const RETRY_FRAME_CAP: usize = 16;
+
+/// Wire bytes sent between inbound drains. Loopback `send_to` delivers
+/// straight into the destination socket's kernel receive queue
+/// (`rmem_default` ≈ 208 KB), so a worker that emits a multi-megabyte
+/// round burst before reading again overflows those queues and the
+/// kernel drops datagrams silently — loss far above the injected rate,
+/// invisible to every counter here. Draining after every 64 KB of
+/// sends keeps each receive queue shallow no matter the burst size.
+const DRAIN_EVERY_BYTES: u64 = 64 * 1024;
+
+/// Per-worker observability counters, merged into the
+/// [`RuntimeReport`](crate::cluster::RuntimeReport) at teardown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Datagrams put on the wire.
+    pub datagrams_sent: u64,
+    /// Datagrams received off the wire.
+    pub datagrams_recv: u64,
+    /// Protocol frames sent (several frames coalesce into one datagram).
+    pub frames_sent: u64,
+    /// Protocol frames received and demultiplexed.
+    pub frames_recv: u64,
+    /// Datagrams that carried more than one coalesced frame.
+    pub batched_sends: u64,
+    /// Wire bytes sent (headers included).
+    pub bytes_sent: u64,
+    /// Event-loop iterations.
+    pub wakeups: u64,
+    /// High-water mark of any member mailbox depth.
+    pub mailbox_high_water: u64,
+    /// Retry-on-silence frame resends.
+    pub retries: u64,
+    /// Frames dropped by the injected loss model.
+    pub injected_drops: u64,
+    /// Datagrams held back and swapped by the reorder injector.
+    pub reordered: u64,
+    /// Frames or payloads rejected by the decoders (`DecodeError`s).
+    pub decode_errors: u64,
+    /// Well-formed frames addressed to members this worker does not own.
+    pub stray_frames: u64,
+}
+
+impl WorkerStats {
+    /// Accumulate `other` into `self` (counters add, high-waters max).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.datagrams_sent += other.datagrams_sent;
+        self.datagrams_recv += other.datagrams_recv;
+        self.frames_sent += other.frames_sent;
+        self.frames_recv += other.frames_recv;
+        self.batched_sends += other.batched_sends;
+        self.bytes_sent += other.bytes_sent;
+        self.wakeups += other.wakeups;
+        self.mailbox_high_water = self.mailbox_high_water.max(other.mailbox_high_water);
+        self.retries += other.retries;
+        self.injected_drops += other.injected_drops;
+        self.reordered += other.reordered;
+        self.decode_errors += other.decode_errors;
+        self.stray_frames += other.stray_frames;
+    }
+}
+
+/// Everything one member needs inside its worker's shard.
+struct MemberSlot<A> {
+    id: MemberId,
+    proto: HierGossip<A>,
+    rng: DetRng,
+    /// Memoized wire form of the last payload sent: gossip fans the
+    /// same payload to several peers, so most sends reuse the bytes.
+    memo: EncodeMemo<Payload<A>>,
+    mailbox: VecDeque<(MemberId, Payload<A>)>,
+    in_dirty: bool,
+    /// Completed wall-clock rounds.
+    round: u64,
+    /// Round of the most recent inbound message (for retry-on-silence).
+    last_rx_round: u64,
+    reported: bool,
+    linger_left: u64,
+    retired: bool,
+    /// Encoded frames of the most recent non-empty flush, kept for
+    /// retry-on-silence. `(dst, payload bytes)`, entries reused.
+    last_frames: Vec<(u32, Vec<u8>)>,
+    last_frames_len: usize,
+}
+
+/// One shard-owning worker thread of a [`Cluster`](crate::cluster::Cluster).
+pub(crate) struct Worker<A> {
+    /// Owned sockets, each tagged with its pool index.
+    pub(crate) sockets: Vec<(usize, UdpSocket)>,
+    pub(crate) addrs: Arc<Vec<SocketAddr>>,
+    pub(crate) n_members: u32,
+    pub(crate) n_sockets: usize,
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) epoch: Instant,
+    pub(crate) done: mpsc::Sender<MemberOutcome<A>>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) faults: FaultInjector,
+
+    slots: Vec<MemberSlot<A>>,
+    /// Global member id -> local slot index (`u32::MAX` = not ours).
+    local_of: Vec<u32>,
+    wheel: TimerWheel,
+    live: usize,
+    stats: WorkerStats,
+
+    // Reused scratch:
+    outbox: Outbox<A>,
+    dirty: Vec<u32>,
+    due: Vec<u32>,
+    /// Per-destination-socket datagram under construction.
+    out_bufs: Vec<Vec<u8>>,
+    /// Frames coalesced into each `out_bufs` entry so far.
+    out_frames: Vec<u32>,
+    /// Completed datagrams awaiting the wire: `(dest socket index, bytes)`.
+    ready: Vec<(usize, Vec<u8>)>,
+    /// Datagrams sequenced (possibly reordered) for sending.
+    wire: Vec<(SocketAddr, Vec<u8>)>,
+    /// Recycled datagram buffers.
+    spare: Vec<Vec<u8>>,
+    recv_buf: Vec<u8>,
+}
+
+impl<A: WireAggregate> Worker<A> {
+    /// Assemble a worker over its sockets and the members homed there.
+    /// `members` is the full per-member constructor output; the worker
+    /// adopts the subset whose home socket it owns.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        worker_id: usize,
+        sockets: Vec<(usize, UdpSocket)>,
+        addrs: Arc<Vec<SocketAddr>>,
+        members: Vec<(MemberId, HierGossip<A>)>,
+        n_members: u32,
+        n_sockets: usize,
+        cfg: RuntimeConfig,
+        epoch: Instant,
+        root_rng: &DetRng,
+        done: mpsc::Sender<MemberOutcome<A>>,
+        shutdown: Arc<AtomicBool>,
+    ) -> Self {
+        let mut local_of = vec![u32::MAX; n_members as usize];
+        let mut slots = Vec::with_capacity(members.len());
+        for (id, proto) in members {
+            local_of[id.index()] = slots.len() as u32;
+            slots.push(MemberSlot {
+                id,
+                proto,
+                rng: root_rng.fork(0x7275_6E00 ^ u64::from(id.0)), // "run"
+                memo: EncodeMemo::new(),
+                mailbox: VecDeque::new(),
+                in_dirty: false,
+                round: 0,
+                last_rx_round: 0,
+                reported: false,
+                linger_left: cfg.linger_rounds,
+                retired: false,
+                last_frames: Vec::new(),
+                last_frames_len: 0,
+            });
+        }
+        let interval = cfg.round_interval.max(Duration::from_micros(200));
+        // Slot count ≈ one round of granularity-interval/4 ticks per
+        // lap; laps are handled by the wheel anyway.
+        let mut wheel = TimerWheel::new(epoch, interval / 4, 64);
+        for local in 0..slots.len() as u32 {
+            wheel.schedule(epoch + interval, local);
+        }
+        let live = slots.len();
+        let faults = FaultInjector::new(
+            cfg.loss.clone(),
+            cfg.reorder,
+            root_rng.fork(0x6661_756C ^ worker_id as u64), // "faul"
+        );
+        Worker {
+            sockets,
+            addrs,
+            n_members,
+            n_sockets,
+            cfg,
+            epoch,
+            done,
+            shutdown,
+            faults,
+            slots,
+            local_of,
+            wheel,
+            live,
+            stats: WorkerStats::default(),
+            outbox: Outbox::new(),
+            dirty: Vec::new(),
+            due: Vec::new(),
+            out_bufs: (0..n_sockets).map(|_| Vec::new()).collect(),
+            out_frames: vec![0; n_sockets],
+            ready: Vec::new(),
+            wire: Vec::new(),
+            spare: Vec::new(),
+            recv_buf: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// The worker's event loop; returns its counters at exit.
+    pub(crate) fn run(mut self) -> WorkerStats {
+        let interval = self.cfg.round_interval.max(Duration::from_micros(200));
+        let poll_cap = (interval / 4).clamp(Duration::from_micros(200), Duration::from_millis(2));
+        loop {
+            self.stats.wakeups += 1;
+            self.drain_sockets();
+            self.deliver_mailboxes();
+            self.tick_due(Instant::now());
+            self.flush_ready();
+            if self.live == 0 || self.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            let now = Instant::now();
+            let until_deadline = self
+                .wheel
+                .next_deadline()
+                .map_or(poll_cap, |d| d.saturating_duration_since(now));
+            std::thread::sleep(until_deadline.min(poll_cap).max(Duration::from_micros(50)));
+        }
+        self.stats
+    }
+
+    /// Poll every owned socket dry, demultiplexing frames into member
+    /// mailboxes.
+    // lint:hot — the receive path: every datagram of a 10k-member
+    // cluster crosses this loop; scratch is reused, nothing allocates.
+    fn drain_sockets(&mut self) {
+        for (_, socket) in &self.sockets {
+            // `WouldBlock` (or any transient error) ends this socket's drain.
+            while let Ok((len, _)) = socket.recv_from(&mut self.recv_buf) {
+                self.stats.datagrams_recv += 1;
+                for frame in FrameIter::new(&self.recv_buf[..len], self.n_members) {
+                    let frame = match frame {
+                        Ok(f) => f,
+                        Err(_) => {
+                            self.stats.decode_errors += 1;
+                            break; // rest of the datagram is unusable
+                        }
+                    };
+                    self.stats.frames_recv += 1;
+                    let local = self.local_of[frame.dst as usize];
+                    if local == u32::MAX {
+                        self.stats.stray_frames += 1;
+                        continue;
+                    }
+                    let mut bytes = frame.payload;
+                    let payload = match codec::decode::<A, _>(&mut bytes) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            self.stats.decode_errors += 1;
+                            continue;
+                        }
+                    };
+                    let slot = &mut self.slots[local as usize];
+                    if slot.retired {
+                        continue;
+                    }
+                    slot.mailbox.push_back((MemberId(frame.src), payload));
+                    self.stats.mailbox_high_water =
+                        self.stats.mailbox_high_water.max(slot.mailbox.len() as u64);
+                    if !slot.in_dirty {
+                        slot.in_dirty = true;
+                        self.dirty.push(local);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `on_message` for every member with mail, in member order, and
+    /// flush the gossip each delivery produced.
+    fn deliver_mailboxes(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        self.dirty.sort_unstable();
+        let mut i = 0;
+        while i < self.dirty.len() {
+            let local = self.dirty[i];
+            i += 1;
+            let slot = &mut self.slots[local as usize];
+            slot.in_dirty = false;
+            slot.last_rx_round = slot.round;
+            while let Some((from, payload)) = slot.mailbox.pop_front() {
+                let mut ctx = Ctx::new(slot.round, &mut slot.rng);
+                slot.proto
+                    .on_message(from, payload, &mut ctx, &mut self.outbox);
+            }
+            self.flush_outbox(local, false);
+        }
+        self.dirty.clear();
+    }
+
+    /// Pop due round deadlines and advance each member's round state.
+    fn tick_due(&mut self, now: Instant) {
+        let interval = self.cfg.round_interval.max(Duration::from_micros(200));
+        self.due.clear();
+        self.wheel.pop_due(now, &mut self.due);
+        let mut k = 0;
+        while k < self.due.len() {
+            let local = self.due[k];
+            k += 1;
+            let slot = &mut self.slots[local as usize];
+            if slot.retired {
+                continue;
+            }
+            if !slot.reported {
+                if !slot.proto.is_done() && slot.round < self.cfg.max_rounds {
+                    let mut ctx = Ctx::new(slot.round, &mut slot.rng);
+                    slot.proto.on_round(&mut ctx, &mut self.outbox);
+                    // Retry-on-silence backs off exponentially: resend
+                    // after r, 2r, 4r, ... silent rounds, not every
+                    // round — a congested cluster must not answer
+                    // silence with a retry storm.
+                    let silent_rounds = slot.round.saturating_sub(slot.last_rx_round);
+                    let r = self.cfg.retry_silent_rounds;
+                    let silent = r > 0
+                        && silent_rounds >= r
+                        && silent_rounds.is_multiple_of(r)
+                        && (silent_rounds / r).is_power_of_two();
+                    self.flush_outbox(local, silent);
+                }
+                let slot = &mut self.slots[local as usize];
+                slot.round += 1;
+                if slot.proto.is_done() || slot.round >= self.cfg.max_rounds {
+                    slot.reported = true;
+                    let outcome = MemberOutcome {
+                        member: slot.id,
+                        estimate: slot.proto.estimate().cloned(),
+                        rounds: slot.round,
+                    };
+                    // The collector may already have what it needs and
+                    // hung up; lingering members keep serving either way.
+                    let _ = self.done.send(outcome);
+                }
+            } else {
+                slot.round += 1;
+                if slot.linger_left == 0 {
+                    slot.retired = true;
+                    self.live -= 1;
+                    continue;
+                }
+                slot.linger_left -= 1;
+            }
+            let slot = &self.slots[local as usize];
+            let next = self.epoch + interval * u32::try_from(slot.round + 1).unwrap_or(u32::MAX);
+            self.wheel.schedule(next, local);
+        }
+    }
+
+    /// Encode and coalesce one member's queued gossip; on `retry`,
+    /// additionally resend the frames of its last non-empty flush.
+    // lint:hot — the send path: every protocol message is encoded,
+    // loss-filtered, and coalesced here.
+    fn flush_outbox(&mut self, local: u32, retry: bool) {
+        let slot = &mut self.slots[local as usize];
+        let fresh = !self.outbox.is_empty();
+        if fresh {
+            slot.last_frames_len = 0;
+        }
+        for (to, payload) in self.outbox.drain() {
+            let bytes = slot
+                .memo
+                .bytes_for(&payload, |p, buf| codec::encode(p, buf));
+            // Remember the frame for retry-on-silence before loss
+            // injection: a retry resends what the protocol *tried* to
+            // send, whether or not the channel ate it.
+            if slot.last_frames_len < RETRY_FRAME_CAP {
+                if slot.last_frames.len() == slot.last_frames_len {
+                    // lint:allow(D009) one-time retry-cache growth, bounded by RETRY_FRAME_CAP
+                    slot.last_frames.push((to.0, Vec::new()));
+                }
+                let entry = &mut slot.last_frames[slot.last_frames_len];
+                entry.0 = to.0;
+                entry.1.clear();
+                entry.1.extend_from_slice(bytes);
+                slot.last_frames_len += 1;
+            }
+            if self.faults.drop_frame(slot.id, to, slot.round) {
+                self.stats.injected_drops += 1;
+                continue;
+            }
+            let sock = to.index() % self.n_sockets;
+            let need = frame_len(bytes.len());
+            let buf = &mut self.out_bufs[sock];
+            if !buf.is_empty() && buf.len() + need > self.cfg.max_datagram {
+                let full = std::mem::replace(buf, self.spare.pop().unwrap_or_default());
+                self.ready.push((sock, full));
+                if self.out_frames[sock] > 1 {
+                    self.stats.batched_sends += 1;
+                }
+                self.out_frames[sock] = 0;
+            }
+            push_frame(&mut self.out_bufs[sock], to.0, slot.id.0, bytes);
+            self.out_frames[sock] += 1;
+            self.stats.frames_sent += 1;
+        }
+        if retry && !slot.proto.is_done() && slot.last_frames_len > 0 {
+            for i in 0..slot.last_frames_len {
+                let (to, ref bytes) = slot.last_frames[i];
+                if self.faults.drop_frame(slot.id, MemberId(to), slot.round) {
+                    self.stats.injected_drops += 1;
+                    continue;
+                }
+                let sock = to as usize % self.n_sockets;
+                let need = frame_len(bytes.len());
+                let buf = &mut self.out_bufs[sock];
+                if !buf.is_empty() && buf.len() + need > self.cfg.max_datagram {
+                    let full = std::mem::replace(buf, self.spare.pop().unwrap_or_default());
+                    self.ready.push((sock, full));
+                    if self.out_frames[sock] > 1 {
+                        self.stats.batched_sends += 1;
+                    }
+                    self.out_frames[sock] = 0;
+                }
+                push_frame(&mut self.out_bufs[sock], to, slot.id.0, bytes);
+                self.out_frames[sock] += 1;
+                self.stats.frames_sent += 1;
+                self.stats.retries += 1;
+            }
+        }
+    }
+
+    /// Seal every pending datagram, sequence the batch through the
+    /// reorder pocket, and put it on the wire.
+    // lint:hot — one call per wakeup; sends the whole coalesced batch.
+    fn flush_ready(&mut self) {
+        for sock in 0..self.n_sockets {
+            if self.out_bufs[sock].is_empty() {
+                continue;
+            }
+            let full = std::mem::replace(
+                &mut self.out_bufs[sock],
+                self.spare.pop().unwrap_or_default(),
+            );
+            self.ready.push((sock, full));
+            if self.out_frames[sock] > 1 {
+                self.stats.batched_sends += 1;
+            }
+            self.out_frames[sock] = 0;
+        }
+        if self.ready.is_empty() {
+            return;
+        }
+        for (sock, bytes) in self.ready.drain(..) {
+            let dest = self.addrs[sock];
+            if self.faults.sequence(dest, bytes, &mut self.wire) {
+                self.stats.reordered += 1;
+            }
+        }
+        self.faults.flush_pocket(&mut self.wire);
+        let mut wire = std::mem::take(&mut self.wire);
+        let mut since_drain = 0u64;
+        for (dest, bytes) in wire.drain(..) {
+            self.stats.datagrams_sent += 1;
+            self.stats.bytes_sent += bytes.len() as u64;
+            since_drain += bytes.len() as u64;
+            let _ = self.sockets[0].1.send_to(&bytes, dest);
+            let mut recycled = bytes;
+            recycled.clear();
+            self.spare.push(recycled);
+            // Backpressure: reading our own sockets mid-burst stops the
+            // kernel receive queues from overflowing (see
+            // DRAIN_EVERY_BYTES). Received frames wait in mailboxes for
+            // the next delivery pass.
+            if since_drain >= DRAIN_EVERY_BYTES {
+                since_drain = 0;
+                self.drain_sockets();
+            }
+        }
+        self.wire = wire;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::FRAME_HEADER_LEN;
+
+    #[test]
+    fn worker_stats_merge_adds_and_maxes() {
+        let mut a = WorkerStats {
+            datagrams_sent: 3,
+            mailbox_high_water: 5,
+            ..Default::default()
+        };
+        let b = WorkerStats {
+            datagrams_sent: 4,
+            mailbox_high_water: 2,
+            frames_recv: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.datagrams_sent, 7);
+        assert_eq!(a.mailbox_high_water, 5);
+        assert_eq!(a.frames_recv, 9);
+    }
+
+    #[test]
+    fn frame_header_constant_matches_format() {
+        // dst u32 + src u32 + len u16
+        assert_eq!(FRAME_HEADER_LEN, 4 + 4 + 2);
+    }
+}
