@@ -54,6 +54,16 @@
 //!   deterministic counters against a committed baseline JSON and exit
 //!   non-zero if `messages_sent` or `bytes_sent` increased — or
 //!   `peak_heap_bytes` grew by more than 25% — for any compared cell.
+//! * `bench_baseline --engine-jobs <T>` — run each cell's round loop
+//!   on `T` fork-join engine threads (`GRIDAGG_ENGINE_JOBS` works too;
+//!   default 1). Every deterministic counter is byte-identical at any
+//!   `T` — only `wall_secs_mean` moves — and the cell records the
+//!   thread count in its `threads` field.
+//! * `bench_baseline --threads-ladder` — measurement mode: instead of
+//!   the protocol grid, run only the hiergossip rungs above the frozen
+//!   grid (intersected with `--min-n`/`--max-n`) at engine threads
+//!   {1, 2, 4}, one cell per thread count. Combine with `--jobs 1` so
+//!   cells run back-to-back and the wall-clock comparison is clean.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell as StdCell;
@@ -197,11 +207,25 @@ const PROTOCOLS: [ProtocolSpec; 5] = [
     },
 ];
 
-/// One `(protocol, N)` measurement.
+/// Engine thread counts the `--threads-ladder` mode measures at each
+/// big hiergossip rung. The counters are identical across the row —
+/// only wall-clock moves — which is exactly what makes the ladder a
+/// speedup measurement rather than a new baseline surface.
+const LADDER_THREADS: [usize; 3] = [1, 2, 4];
+
+/// One `(protocol, N, engine threads)` measurement.
 struct Cell {
     protocol: &'static str,
     n: usize,
     seed: u64,
+    /// Fork-join engine threads the run's round loop used. Purely an
+    /// execution knob: every protocol-level counter below is identical
+    /// at any value; only `wall_secs_mean` responds to it. The two
+    /// allocator-derived fields are the exception — the counting
+    /// allocator's tallies are per-thread, so work done on shard
+    /// threads lands on *their* counters — which is why `--check`
+    /// compares cells only at matching thread counts.
+    threads: usize,
     /// Mean wall-clock seconds per run (machine-dependent).
     wall_secs_mean: f64,
     /// Timed iterations behind the mean (capped by `GRIDAGG_RUNS`).
@@ -224,6 +248,7 @@ impl ToJson for Cell {
             ("protocol".into(), Json::Str(self.protocol.into())),
             ("n".into(), Json::Num(self.n as f64)),
             ("seed".into(), Json::Num(self.seed as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
             ("wall_secs_mean".into(), Json::Num(self.wall_secs_mean)),
             ("timed_iters".into(), Json::Num(f64::from(self.timed_iters))),
             ("rounds".into(), Json::Num(self.rounds as f64)),
@@ -269,6 +294,7 @@ fn measure(
     protocol: &'static str,
     n: usize,
     seed: u64,
+    threads: usize,
     timing: bool,
     run: impl Fn() -> RunReport,
 ) -> Cell {
@@ -293,6 +319,7 @@ fn measure(
         protocol,
         n,
         seed,
+        threads,
         wall_secs_mean,
         timed_iters,
         rounds: report.rounds,
@@ -307,8 +334,10 @@ fn measure(
 
 /// Queue every protocol's `(protocol, n)` cell, honoring each
 /// protocol's `max_n` cap with a logged reason.
-fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool) {
-    let mut cfg = ExperimentConfig::paper_defaults().with_n(n);
+fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, threads: usize, timing: bool) {
+    let mut cfg = ExperimentConfig::paper_defaults()
+        .with_n(n)
+        .with_engine_jobs(threads);
     // Above the frozen grid, per-phase trace recording is pure memory
     // overhead (it never draws randomness or sends): turn it off so
     // the peak-heap ceiling reflects protocol state, not telemetry.
@@ -323,8 +352,8 @@ fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool) {
             continue;
         }
         let name = spec.name;
-        sweep.push(format!("{name}/n={n}"), move || {
-            measure(name, n, seed, timing, || match name {
+        sweep.push(format!("{name}/n={n}/t={threads}"), move || {
+            measure(name, n, seed, threads, timing, || match name {
                 "hiergossip" => run_hiergossip::<Average>(&cfg, seed),
                 "flatgossip" => run_flatgossip::<Average>(&cfg, seed),
                 "flood" => run_flood::<Average>(&cfg, FloodConfig::default(), seed),
@@ -340,14 +369,52 @@ fn queue_cells(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool) {
     }
 }
 
-fn measure_all(seed: u64, timing: bool, min_n: usize, max_n: usize) -> Vec<Cell> {
+/// Queue the `--threads-ladder` cells for one rung: hiergossip at
+/// every [`LADDER_THREADS`] engine thread count. Only the rungs above
+/// the frozen grid carry enough per-round work for the fork-join
+/// engine to matter, so the ladder starts where the default window
+/// ends.
+fn queue_threads_ladder(sweep: &mut Sweep<Cell>, n: usize, seed: u64, timing: bool) {
+    for threads in LADDER_THREADS {
+        let mut cfg = ExperimentConfig::paper_defaults()
+            .with_n(n)
+            .with_engine_jobs(threads);
+        cfg.phase_trace = n <= DEFAULT_MAX_N;
+        cfg.validate().expect("paper defaults are valid");
+        sweep.push(format!("hiergossip/n={n}/t={threads}"), move || {
+            measure("hiergossip", n, seed, threads, timing, || {
+                run_hiergossip::<Average>(&cfg, seed)
+            })
+        });
+    }
+}
+
+fn measure_all(
+    seed: u64,
+    timing: bool,
+    min_n: usize,
+    max_n: usize,
+    engine_jobs: usize,
+    threads_ladder: bool,
+) -> Vec<Cell> {
     let mut sweep = Sweep::new();
     for n in SIZES {
         if n < min_n || n > max_n {
             eprintln!("skipping N={n} cells: outside this run's --min-n/--max-n window");
             continue;
         }
-        queue_cells(&mut sweep, n, seed, timing);
+        if threads_ladder {
+            if n <= DEFAULT_MAX_N {
+                eprintln!(
+                    "skipping N={n} cells: --threads-ladder measures only the rungs \
+                     above N={DEFAULT_MAX_N}"
+                );
+                continue;
+            }
+            queue_threads_ladder(&mut sweep, n, seed, timing);
+        } else {
+            queue_cells(&mut sweep, n, seed, engine_jobs, timing);
+        }
     }
     eprintln!(
         "measuring {} cells on {} worker(s) ...",
@@ -368,6 +435,7 @@ fn report_table(cells: &[Cell]) {
             vec![
                 c.protocol.to_string(),
                 c.n.to_string(),
+                c.threads.to_string(),
                 millis(c.wall_secs_mean),
                 c.timed_iters.to_string(),
                 c.rounds.to_string(),
@@ -384,6 +452,7 @@ fn report_table(cells: &[Cell]) {
         &[
             "protocol",
             "N",
+            "threads",
             "wall/run",
             "iters",
             "rounds",
@@ -410,6 +479,13 @@ const PEAK_HEAP_TOLERANCE: f64 = 1.25;
 /// `--min-n`/`--max-n` window (or a protocol's `max_n` cap) are
 /// skipped with a logged reason, so a windowed run can still check
 /// against the full committed ladder.
+///
+/// Cells are matched on `(protocol, n, threads)` — a baseline recorded
+/// before the fork-join engine has no `threads` field and matches as
+/// `threads = 1`. Baseline cells at an engine thread count this run
+/// did not measure (e.g. the committed threads-ladder rows during an
+/// ordinary serial run) are skipped, not failed: the counters are
+/// identical at every thread count, so checking one count checks all.
 fn check_against(cells: &[Cell], path: &str, min_n: usize, max_n: usize) -> usize {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("bench_baseline: cannot read baseline {path}: {e}"));
@@ -433,6 +509,10 @@ fn check_against(cells: &[Cell], path: &str, min_n: usize, max_n: usize) -> usiz
             .and_then(Json::as_str)
             .expect("baseline cell has a protocol");
         let n = counter(base, "n") as usize;
+        let threads = base
+            .get("threads")
+            .and_then(Json::as_f64)
+            .map_or(1, |v| v as usize);
         if n < min_n || n > max_n {
             eprintln!(
                 "skipping baseline cell {proto}/N={n}: outside this run's \
@@ -450,8 +530,18 @@ fn check_against(cells: &[Cell], path: &str, min_n: usize, max_n: usize) -> usiz
                 continue;
             }
         }
-        let Some(cur) = cells.iter().find(|c| c.protocol == proto && c.n == n) else {
-            eprintln!("REGRESSION {proto}/N={n}: cell missing from this run");
+        if !cells.iter().any(|c| c.threads == threads) {
+            eprintln!(
+                "skipping baseline cell {proto}/N={n}/threads={threads}: this run \
+                 measured no cells at that engine-thread count"
+            );
+            continue;
+        }
+        let Some(cur) = cells
+            .iter()
+            .find(|c| c.protocol == proto && c.n == n && c.threads == threads)
+        else {
+            eprintln!("REGRESSION {proto}/N={n}/threads={threads}: cell missing from this run");
             regressions += 1;
             continue;
         };
@@ -538,6 +628,7 @@ fn main() {
     let mut timing = true;
     let mut min_n: usize = 0;
     let mut max_n: usize = DEFAULT_MAX_N;
+    let mut threads_ladder = false;
     let mut args = std::env::args().skip(1);
     let parse_n = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
         args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -554,21 +645,22 @@ fn main() {
                 }));
             }
             "--proxies-only" => timing = false,
+            "--threads-ladder" => threads_ladder = true,
             "--min-n" => min_n = parse_n(&mut args, "--min-n"),
             "--max-n" => max_n = parse_n(&mut args, "--max-n"),
-            // consumed here; the sweep executor re-reads it from argv
-            "--jobs" => {
+            // consumed here; the sweep executor re-reads them from argv
+            "--jobs" | "--engine-jobs" => {
                 if args.next().is_none() {
-                    eprintln!("bench_baseline: expected a worker count after --jobs");
+                    eprintln!("bench_baseline: expected a count after {arg}");
                     std::process::exit(2);
                 }
             }
-            other if other.starts_with("--jobs=") => {}
+            other if other.starts_with("--jobs=") || other.starts_with("--engine-jobs=") => {}
             other => {
                 eprintln!(
                     "bench_baseline: unknown argument {other:?} \
-                     (expected --check <path>, --jobs <J>, --proxies-only, \
-                      --min-n <N>, --max-n <N>)"
+                     (expected --check <path>, --jobs <J>, --engine-jobs <T>, \
+                      --proxies-only, --threads-ladder, --min-n <N>, --max-n <N>)"
                 );
                 std::process::exit(2);
             }
@@ -580,8 +672,9 @@ fn main() {
     }
 
     let seed = base_seed();
+    let engine_jobs = gridagg_bench::sweep::engine_jobs(gridagg_bench::sweep::jobs());
     let baseline = Baseline {
-        cells: measure_all(seed, timing, min_n, max_n),
+        cells: measure_all(seed, timing, min_n, max_n, engine_jobs, threads_ladder),
     };
     report_table(&baseline.cells);
     write_json("BENCH_protocols.json", &baseline);

@@ -2,11 +2,14 @@
 //! to convergence under injected loss, reported next to the simulator
 //! at matching loss.
 //!
-//! Two presets ride the same harness:
+//! Three presets ride the same harness:
 //!
 //! * `smoke` — 512 members over 16 sockets (the CI smoke rung);
 //! * `full` — 10,000 members over 64 sockets and ≤ `num_cpus` worker
-//!   threads (the nightly rung and the tentpole's acceptance cell).
+//!   threads (the nightly rung and the tentpole's acceptance cell);
+//! * `full-mw4` — the same 10,000-member grid pinned to **4 worker
+//!   threads**, exercising the sharded multi-worker event loop at
+//!   scale regardless of how many cores the measuring box exposes.
 //!
 //! Each preset runs the cluster once, then runs the **simulator** on
 //! the same protocol at the same group size and loss probability — the
@@ -14,19 +17,21 @@
 //! real-socket runtime, with retry-on-silence at the socket boundary,
 //! must reach completeness at least the simulator's.
 //!
-//! Wall-clock and throughput are machine-dependent and therefore
-//! informational; the `--check` gate holds the *structural* results:
-//! every member reports, completeness does not fall below the
-//! committed baseline (minus a small noise margin), the runtime stays
-//! ≥ the in-run simulator reference, and datagram coalescing does not
-//! regress.
+//! Wall-clock is machine-dependent and therefore informational; the
+//! `--check` gate holds the *structural* results: every member
+//! reports, completeness does not fall below the committed baseline
+//! (minus a small noise margin), the runtime stays ≥ the in-run
+//! simulator reference, and datagram coalescing does not regress.
+//! Throughput (`frames_per_sec`) sits between the two: a loose floor
+//! ratio catches an event-loop collapse without firing on ordinary
+//! machine variance.
 //!
 //! Usage:
 //!
-//! * `cluster_10k` — run both presets, write
+//! * `cluster_10k` — run every preset, write
 //!   `results/BENCH_runtime.json` (`GRIDAGG_OUT` overrides the
 //!   directory, `GRIDAGG_SEED` the seed).
-//! * `cluster_10k --preset smoke|full` — run one preset.
+//! * `cluster_10k --preset smoke|full|full-mw4` — run one preset.
 //! * `cluster_10k --check <path>` — additionally compare against a
 //!   committed baseline JSON and exit non-zero on a regression.
 //!   Baseline cells whose preset this run did not measure are skipped,
@@ -56,10 +61,19 @@ const SIM_MARGIN: f64 = 0.02;
 /// fraction of the committed baseline.
 const COALESCE_RATIO_FLOOR: f64 = 0.7;
 
+/// The throughput gate: `frames_per_sec` may not fall below this
+/// fraction of the committed baseline. Throughput is machine-bound,
+/// so the floor is deliberately loose — it catches an event-loop
+/// collapse (a 4x slowdown), not scheduling noise.
+const FRAMES_PER_SEC_FLOOR: f64 = 0.25;
+
 struct Preset {
     name: &'static str,
     n: usize,
     sockets: usize,
+    /// Worker threads driving the member shards; 0 means the
+    /// [`RuntimeConfig`] default (one per available core).
+    workers: usize,
     round_interval: Duration,
     loss: f64,
     /// Datagram coalescing cap. At N = 10,000 exact contributor sets
@@ -69,11 +83,12 @@ struct Preset {
     max_datagram: usize,
 }
 
-const PRESETS: [Preset; 2] = [
+const PRESETS: [Preset; 3] = [
     Preset {
         name: "smoke",
         n: 512,
         sockets: 16,
+        workers: 0,
         round_interval: Duration::from_millis(5),
         loss: 0.10,
         max_datagram: 1400,
@@ -86,6 +101,20 @@ const PRESETS: [Preset; 2] = [
         name: "full",
         n: 10_000,
         sockets: 64,
+        workers: 0,
+        round_interval: Duration::from_millis(100),
+        loss: 0.10,
+        max_datagram: 32 * 1024,
+    },
+    // Same grid, pinned to 4 workers: each worker owns 16 of the 64
+    // sockets, so the sharded event loop's cross-worker handoff paths
+    // run at scale even on a box whose core count would otherwise
+    // collapse the pool to one worker.
+    Preset {
+        name: "full-mw4",
+        n: 10_000,
+        sockets: 64,
+        workers: 4,
         round_interval: Duration::from_millis(100),
         loss: 0.10,
         max_datagram: 32 * 1024,
@@ -210,7 +239,7 @@ fn measure(preset: &Preset, seed: u64) -> Cell {
     let h = Hierarchy::for_group(4, n).expect("hierarchy shape");
     let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, seed));
     let votes: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    let rt_cfg = RuntimeConfig {
+    let mut rt_cfg = RuntimeConfig {
         sockets: preset.sockets,
         round_interval: preset.round_interval,
         max_datagram: preset.max_datagram,
@@ -218,6 +247,9 @@ fn measure(preset: &Preset, seed: u64) -> Cell {
         ..Default::default()
     }
     .with_uniform_loss(preset.loss);
+    if preset.workers > 0 {
+        rt_cfg.workers = preset.workers;
+    }
     let run = run_cluster::<Average>(votes, index, HierGossipConfig::default(), rt_cfg)
         .unwrap_or_else(|e| panic!("cluster_10k: preset {} failed: {e}", preset.name));
     let r = &run.report;
@@ -363,6 +395,15 @@ fn check_against(cells: &[Cell], path: &str) -> usize {
             );
             failures += 1;
         }
+        let base_fps = num(base, "frames_per_sec");
+        if cur.frames_per_sec < base_fps * FRAMES_PER_SEC_FLOOR {
+            eprintln!(
+                "REGRESSION {preset}: frames_per_sec {base_fps:.0} -> {:.0} \
+                 (floor x{FRAMES_PER_SEC_FLOOR})",
+                cur.frames_per_sec
+            );
+            failures += 1;
+        }
         // Informational: wall-clock and throughput are machine-bound.
         let base_wall = num(base, "wall_secs");
         if cur.wall_secs > base_wall * 2.0 {
@@ -393,7 +434,10 @@ fn main() {
                     std::process::exit(2);
                 });
                 if !PRESETS.iter().any(|p| p.name == name) {
-                    eprintln!("cluster_10k: unknown preset {name:?} (expected smoke or full)");
+                    eprintln!(
+                        "cluster_10k: unknown preset {name:?} \
+                         (expected smoke, full, or full-mw4)"
+                    );
                     std::process::exit(2);
                 }
                 only = Some(name);

@@ -248,6 +248,43 @@ pub fn jobs() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
+/// In-run engine thread count: `--engine-jobs N` / `--engine-jobs=N`
+/// on the command line, else the `GRIDAGG_ENGINE_JOBS` environment
+/// variable, else 1 (serial round loop).
+///
+/// Composes with the sweep executor so cells × engine threads never
+/// oversubscribe: when the sweep itself runs cells concurrently
+/// (`sweep_jobs > 1`), an *environment-derived* engine thread count is
+/// capped at `cores / sweep_jobs`. An explicit `--engine-jobs` flag is
+/// taken at face value — measurement runs (e.g. the wall-clock threads
+/// ladder) must be able to pin exact thread counts.
+///
+/// Results are byte-identical at any value either way; this only
+/// affects wall-clock.
+pub fn engine_jobs(sweep_jobs: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--engine-jobs" {
+            args.next()
+        } else {
+            a.strip_prefix("--engine-jobs=").map(str::to_string)
+        };
+        if let Some(n) = value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    let requested = std::env::var("GRIDAGG_ENGINE_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    if sweep_jobs <= 1 {
+        return requested;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    requested.min((cores / sweep_jobs).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

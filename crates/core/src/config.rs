@@ -147,6 +147,15 @@ pub struct ExperimentConfig {
     /// O(phases) heap per member, so the scale bench turns it off above
     /// the exact-tracking threshold.
     pub phase_trace: bool,
+    /// Engine threads *inside* each run: the round loop forks the
+    /// delivery and visit phases across this many scoped threads and
+    /// serially replays their outcomes, so results — trace bytes
+    /// included — are byte-identical at any value (see
+    /// [`crate::engine::Simulation::with_engine_jobs`]). An execution
+    /// knob like `GRIDAGG_JOBS`, not an experiment parameter: it is
+    /// deliberately **not** serialized, so recorded configs and result
+    /// artifacts are identical at any thread count.
+    pub engine_jobs: usize,
     /// Vote distribution.
     pub vote: VoteSpec,
 }
@@ -173,6 +182,7 @@ impl Default for ExperimentConfig {
             start_spread: None,
             max_delay: None,
             phase_trace: true,
+            engine_jobs: 1,
             vote: VoteSpec::Uniform { lo: 0.0, hi: 100.0 },
         }
     }
@@ -228,6 +238,8 @@ impl FromJson for ExperimentConfig {
             max_delay: opt_field(value, "max_delay")?,
             // absent in configs recorded before the scale ladder: default on
             phase_trace: opt_field(value, "phase_trace")?.unwrap_or(true),
+            // execution knob, never serialized: always starts serial
+            engine_jobs: 1,
             vote: field(value, "vote")?,
         })
     }
@@ -254,6 +266,13 @@ impl ExperimentConfig {
     /// Set the per-round crash probability.
     pub fn with_pf(mut self, pf: f64) -> Self {
         self.pf = pf;
+        self
+    }
+
+    /// Set the in-run engine thread count (see
+    /// [`crate::engine::Simulation::with_engine_jobs`]).
+    pub fn with_engine_jobs(mut self, jobs: usize) -> Self {
+        self.engine_jobs = jobs.max(1);
         self
     }
 

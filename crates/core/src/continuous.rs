@@ -393,6 +393,7 @@ fn run_hier_epoch(
         0.0, // truth tracked by the caller
         cfg.max_rounds(),
     )
+    .with_engine_jobs(cfg.engine_jobs)
     .run();
 
     acc.rounds = run.rounds;
@@ -470,6 +471,7 @@ fn run_fu_epoch(
         0.0,
         u64::from(opts.fu.rounds_per_epoch) + 2,
     )
+    .with_engine_jobs(cfg.engine_jobs)
     .run_returning();
     *protocols = returned;
 

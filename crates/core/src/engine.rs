@@ -23,14 +23,28 @@
 //! order, which is exactly the order the dense scan visited them. Done
 //! and not-yet-due members cost nothing per round, which is what makes
 //! million-member runs affordable once most of the group has finished.
+//!
+//! With [`Simulation::with_engine_jobs`] the loop becomes a
+//! **fork-join** engine: each round the delivery worklist and the visit
+//! set are sharded into contiguous member-id ranges over
+//! `split_at_mut` protocol slices, stepped on scoped threads using the
+//! per-member RNG streams, and their outgoing sends and trace events
+//! are collected into per-shard buffers. A serial replay phase then
+//! applies the recorded sends to the network *in exactly the order the
+//! serial engine produced them*, so the single shared network RNG
+//! (loss and delay draws live inside `SimNetwork::send`) consumes an
+//! identical stream and the whole run — trace bytes included — is
+//! byte-identical at any thread count. See DESIGN.md §16.
 
 use std::collections::BTreeMap;
+// lint:allow(D002) scoped fork-join over disjoint member ranges; the serial replay phase keeps every run byte-identical at any thread count (tests/engine_forkjoin.rs)
+use std::thread::scope as thread_scope;
 
 use gridagg_aggregate::wire::WireAggregate;
 use gridagg_group::failure::{FailureProcess, LivenessEvent};
 use gridagg_group::MemberId;
 use gridagg_simnet::bitset::DenseBitSet;
-use gridagg_simnet::network::{SendOutcome, SimNetwork};
+use gridagg_simnet::network::{Envelope, SendOutcome, SimNetwork};
 use gridagg_simnet::rng::DetRng;
 use gridagg_simnet::Round;
 
@@ -38,6 +52,102 @@ use crate::message::Payload;
 use crate::metrics::{MemberOutcome, RunReport};
 use crate::protocol::{AggregationProtocol, Ctx, Outbox};
 use crate::trace::{NoTrace, TraceEvent, TraceSink};
+
+/// Hard ceiling on engine threads: the per-envelope shard-owner table
+/// stores worker indices as `u8`, and beyond this width the fork-join
+/// barriers cost more than the shards win.
+pub const MAX_ENGINE_JOBS: usize = 64;
+
+/// Below this many work items (deliveries or visits) a round phase runs
+/// inline: spawning scoped threads costs more than stepping a handful
+/// of members. Both paths are byte-identical, so this is purely a
+/// latency heuristic.
+const PAR_MIN_ITEMS: usize = 128;
+
+/// Shard-owner sentinel for envelopes that are dropped before any
+/// worker sees them (dead destination — the serial loop `continue`s).
+const OWNER_NONE: u8 = u8::MAX;
+
+/// Worker-side event collector: protocol-level trace events recorded
+/// during a parallel phase, replayed into the real sink in serial
+/// order afterwards. Pure instrumentation — nothing reads it back
+/// during the phase, so D008 purity holds by construction.
+#[derive(Debug, Default)]
+struct EventBuf(Vec<TraceEvent>);
+
+impl TraceSink for EventBuf {
+    fn record(&mut self, event: TraceEvent) {
+        self.0.push(event);
+    }
+}
+
+/// One outgoing message captured by a worker, applied to the network
+/// by the serial replay phase. `payload` is taken exactly once.
+#[derive(Debug)]
+struct SendRec<A> {
+    to: MemberId,
+    bytes: u32,
+    payload: Option<Payload<A>>,
+}
+
+/// Outcome of one parallel protocol call (an `on_message` delivery or
+/// an `on_round` visit), replayed serially in original order.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepRecord {
+    member: MemberId,
+    /// Delivery only: sender and send round for the `Deliver` event.
+    from: MemberId,
+    sent_at: Round,
+    /// Visit only: the member was dead (no call happened).
+    dead: bool,
+    /// Visit only: the protocol was already done at the visit.
+    pre_done: bool,
+    /// Delivery only: done state before `on_message`.
+    was_done: bool,
+    /// Done state after the protocol call.
+    now_done: bool,
+    /// Completeness at termination (traced runs only; 0.0 otherwise,
+    /// matching the serial engine's `map_or(0.0, ..)`).
+    completeness: f64,
+    ev_start: u32,
+    ev_len: u32,
+    send_start: u32,
+    send_len: u32,
+}
+
+/// One worker's per-round scratch, owned by `drive` and reused across
+/// rounds so the steady state allocates nothing.
+#[derive(Debug)]
+struct ShardBuf<A> {
+    /// Delivery worklist, enqueued in global envelope order.
+    inbox: Vec<Envelope<Payload<A>>>,
+    records: Vec<StepRecord>,
+    events: EventBuf,
+    sends: Vec<SendRec<A>>,
+    out: Outbox<A>,
+    /// Replay cursor into `records`.
+    cursor: usize,
+}
+
+impl<A> ShardBuf<A> {
+    fn new() -> Self {
+        ShardBuf {
+            inbox: Vec::new(),
+            records: Vec::new(),
+            events: EventBuf::default(),
+            sends: Vec::new(),
+            out: Outbox::new(),
+            cursor: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.records.clear();
+        self.events.0.clear();
+        self.sends.clear();
+        self.cursor = 0;
+    }
+}
 
 /// The assembled simulation for one run.
 #[derive(Debug)]
@@ -50,12 +160,13 @@ pub struct Simulation<A, P> {
     max_rounds: Round,
     start_rounds: Option<Vec<Round>>,
     started: DenseBitSet,
+    engine_jobs: usize,
 }
 
 impl<A, P> Simulation<A, P>
 where
-    A: WireAggregate,
-    P: AggregationProtocol<A>,
+    A: WireAggregate + Send + Sync,
+    P: AggregationProtocol<A> + Send,
 {
     /// Assemble a simulation.
     ///
@@ -90,7 +201,20 @@ where
             max_rounds,
             start_rounds: None,
             started,
+            engine_jobs: 1,
         }
+    }
+
+    /// Step members on `jobs` scoped threads inside each round
+    /// (fork-join over contiguous member-id shards with a serial
+    /// ordered replay). The run — report, proxy counters, and every
+    /// trace byte — is identical at any value; `1` (the default) keeps
+    /// the fully serial loop. Values are clamped to
+    /// `1..=`[`MAX_ENGINE_JOBS`].
+    #[must_use]
+    pub fn with_engine_jobs(mut self, jobs: usize) -> Self {
+        self.engine_jobs = jobs.clamp(1, MAX_ENGINE_JOBS);
+        self
     }
 
     /// Stagger protocol initiation: member `i` starts at
@@ -190,6 +314,15 @@ where
         // each round so the sets can be edited while visiting.
         let mut visit: Vec<u32> = Vec::new(); // lint:allow(D009) per-run scratch, reused across rounds
 
+        // Fork-join scratch: one buffer set per engine thread plus the
+        // per-envelope shard-owner table, allocated once per run and
+        // reused every round.
+        let jobs = self.engine_jobs.clamp(1, MAX_ENGINE_JOBS).min(n);
+        let mut shards: Vec<ShardBuf<A>> = (0..if jobs > 1 { jobs } else { 0 })
+            .map(|_| ShardBuf::new())
+            .collect();
+        let mut owner: Vec<u8> = Vec::new(); // lint:allow(D009) per-run scratch, refilled in place each round
+
         if S::ENABLED {
             for i in self.started.iter() {
                 sink.record(TraceEvent::Start {
@@ -228,55 +361,69 @@ where
             // 2. deliver due messages to alive members; a protocol
             //    message wakes a member that has not started yet
             self.net.drain_into(round, &mut delivery);
-            for env in delivery.drain(..) {
-                let to = env.to.index();
-                if !self.failure.is_alive(env.to) {
-                    continue;
-                }
-                if S::ENABLED {
-                    sink.record(TraceEvent::Deliver {
-                        from: env.from,
-                        to: env.to,
-                        round,
-                        sent_at: env.sent_at,
-                    });
-                    if !self.started.contains(to) {
-                        sink.record(TraceEvent::Start {
+            if jobs > 1 && delivery.len() >= PAR_MIN_ITEMS {
+                self.deliver_parallel(
+                    round,
+                    n,
+                    &mut delivery,
+                    &mut unstarted,
+                    &mut due,
+                    &mut active,
+                    &mut shards,
+                    &mut owner,
+                    sink,
+                );
+            } else {
+                for env in delivery.drain(..) {
+                    let to = env.to.index();
+                    if !self.failure.is_alive(env.to) {
+                        continue;
+                    }
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Deliver {
+                            from: env.from,
+                            to: env.to,
+                            round,
+                            sent_at: env.sent_at,
+                        });
+                        if !self.started.contains(to) {
+                            sink.record(TraceEvent::Start {
+                                member: env.to,
+                                round,
+                            });
+                        }
+                    }
+                    if self.started.insert(to) {
+                        unstarted.remove(to);
+                        due.remove(to);
+                    }
+                    let was_done = self.protocols[to].is_done();
+                    {
+                        let mut ctx = if S::ENABLED {
+                            Ctx::traced(round, &mut self.rngs[to], sink)
+                        } else {
+                            Ctx::new(round, &mut self.rngs[to])
+                        };
+                        self.protocols[to].on_message(env.from, env.payload, &mut ctx, &mut out);
+                    }
+                    // a message can finish a member (drop it from the visit
+                    // set) or re-arm a finished one (put it back)
+                    if self.protocols[to].is_done() {
+                        active.remove(to);
+                    } else {
+                        active.insert(to);
+                    }
+                    if S::ENABLED && !was_done && self.protocols[to].is_done() {
+                        sink.record(TraceEvent::Terminate {
                             member: env.to,
                             round,
+                            completeness: self.protocols[to]
+                                .estimate()
+                                .map_or(0.0, |est| est.completeness(n)),
                         });
                     }
+                    Self::flush(&mut self.net, round, env.to, &mut out, sink);
                 }
-                if self.started.insert(to) {
-                    unstarted.remove(to);
-                    due.remove(to);
-                }
-                let was_done = self.protocols[to].is_done();
-                {
-                    let mut ctx = if S::ENABLED {
-                        Ctx::traced(round, &mut self.rngs[to], sink)
-                    } else {
-                        Ctx::new(round, &mut self.rngs[to])
-                    };
-                    self.protocols[to].on_message(env.from, env.payload, &mut ctx, &mut out);
-                }
-                // a message can finish a member (drop it from the visit
-                // set) or re-arm a finished one (put it back)
-                if self.protocols[to].is_done() {
-                    active.remove(to);
-                } else {
-                    active.insert(to);
-                }
-                if S::ENABLED && !was_done && self.protocols[to].is_done() {
-                    sink.record(TraceEvent::Terminate {
-                        member: env.to,
-                        round,
-                        completeness: self.protocols[to]
-                            .estimate()
-                            .map_or(0.0, |est| est.completeness(n)),
-                    });
-                }
-                Self::flush(&mut self.net, round, env.to, &mut out, sink);
             }
 
             // 3.+4. step alive, started, unfinished members — visiting
@@ -293,49 +440,64 @@ where
             }
             visit.clear();
             visit.extend(active.iter_union(&due).map(|i| i as u32));
-            for &iv in &visit {
-                let i = iv as usize;
-                let me = MemberId(iv);
-                if !self.failure.is_alive(me) {
-                    continue; // stays active/due; resumes on recovery
-                }
-                if unstarted.contains(i) {
-                    // due member starting at its official round
-                    unstarted.remove(i);
-                    due.remove(i);
-                    self.started.insert(i);
-                    if S::ENABLED {
-                        sink.record(TraceEvent::Start { member: me, round });
+            if jobs > 1 && visit.len() >= PAR_MIN_ITEMS {
+                self.visit_parallel(
+                    round,
+                    n,
+                    &visit,
+                    &mut unstarted,
+                    &mut due,
+                    &mut active,
+                    &mut shards,
+                    &mut all_settled,
+                    &mut protocol_steps,
+                    sink,
+                );
+            } else {
+                for &iv in &visit {
+                    let i = iv as usize;
+                    let me = MemberId(iv);
+                    if !self.failure.is_alive(me) {
+                        continue; // stays active/due; resumes on recovery
                     }
-                }
-                if self.protocols[i].is_done() {
-                    active.remove(i);
-                    continue;
-                }
-                active.insert(i);
-                all_settled = false;
-                protocol_steps += 1;
-                {
-                    let mut ctx = if S::ENABLED {
-                        Ctx::traced(round, &mut self.rngs[i], sink)
-                    } else {
-                        Ctx::new(round, &mut self.rngs[i])
-                    };
-                    self.protocols[i].on_round(&mut ctx, &mut out);
-                }
-                if self.protocols[i].is_done() {
-                    active.remove(i);
-                    if S::ENABLED {
-                        sink.record(TraceEvent::Terminate {
-                            member: me,
-                            round,
-                            completeness: self.protocols[i]
-                                .estimate()
-                                .map_or(0.0, |est| est.completeness(n)),
-                        });
+                    if unstarted.contains(i) {
+                        // due member starting at its official round
+                        unstarted.remove(i);
+                        due.remove(i);
+                        self.started.insert(i);
+                        if S::ENABLED {
+                            sink.record(TraceEvent::Start { member: me, round });
+                        }
                     }
+                    if self.protocols[i].is_done() {
+                        active.remove(i);
+                        continue;
+                    }
+                    active.insert(i);
+                    all_settled = false;
+                    protocol_steps += 1;
+                    {
+                        let mut ctx = if S::ENABLED {
+                            Ctx::traced(round, &mut self.rngs[i], sink)
+                        } else {
+                            Ctx::new(round, &mut self.rngs[i])
+                        };
+                        self.protocols[i].on_round(&mut ctx, &mut out);
+                    }
+                    if self.protocols[i].is_done() {
+                        active.remove(i);
+                        if S::ENABLED {
+                            sink.record(TraceEvent::Terminate {
+                                member: me,
+                                round,
+                                completeness: self.protocols[i]
+                                    .estimate()
+                                    .map_or(0.0, |est| est.completeness(n)),
+                            });
+                        }
+                    }
+                    Self::flush(&mut self.net, round, me, &mut out, sink);
                 }
-                Self::flush(&mut self.net, round, me, &mut out, sink);
             }
 
             round += 1;
@@ -400,6 +562,395 @@ where
                     }
                     SendOutcome::DroppedBandwidth => {
                         sink.record(TraceEvent::DropBandwidth { from, to, round });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel delivery phase: partition this round's envelopes by
+    /// destination shard, run each shard's `on_message` calls on scoped
+    /// threads, then replay the recorded outcomes serially in the
+    /// original envelope order. Every `net.send` — the only consumer of
+    /// the shared network RNG — happens in the replay, so the RNG
+    /// stream, the trace byte stream, and all engine bookkeeping are
+    /// exactly the serial engine's.
+    // lint:hot — fork-join delivery path; all scratch lives in `shards`.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_parallel<S: TraceSink>(
+        &mut self,
+        round: Round,
+        n: usize,
+        delivery: &mut Vec<Envelope<Payload<A>>>,
+        unstarted: &mut DenseBitSet,
+        due: &mut DenseBitSet,
+        active: &mut DenseBitSet,
+        shards: &mut [ShardBuf<A>],
+        owner: &mut Vec<u8>,
+        sink: &mut S,
+    ) {
+        let jobs = shards.len();
+        owner.clear();
+        for shard in shards.iter_mut() {
+            shard.reset();
+        }
+        // Partition by destination shard; dead destinations drop here,
+        // exactly where the serial loop drops them (`is_alive` is a
+        // pure read — no RNG, no mutation).
+        for env in delivery.drain(..) {
+            if !self.failure.is_alive(env.to) {
+                owner.push(OWNER_NONE);
+                continue;
+            }
+            let w = env.to.index() * jobs / n;
+            owner.push(w as u8);
+            shards[w].inbox.push(env);
+        }
+
+        // Fork: each worker exclusively owns a contiguous protocol/rng
+        // range (`split_at_mut`), so no shared state is touched.
+        let Simulation {
+            protocols,
+            rngs,
+            net,
+            started,
+            ..
+        } = self;
+        thread_scope(|scope| {
+            let mut prot_rest: &mut [P] = protocols;
+            let mut rng_rest: &mut [DetRng] = rngs;
+            let mut lo = 0usize;
+            for (w, buf) in shards.iter_mut().enumerate() {
+                let hi = ((w + 1) * n).div_ceil(jobs);
+                let (prots, pr) = prot_rest.split_at_mut(hi - lo);
+                let (prngs, rr) = rng_rest.split_at_mut(hi - lo);
+                prot_rest = pr;
+                rng_rest = rr;
+                if !buf.inbox.is_empty() {
+                    let base = lo;
+                    scope.spawn(move || {
+                        Self::shard_deliver::<S>(round, n, base, prots, prngs, buf);
+                    });
+                }
+                lo = hi;
+            }
+        });
+
+        // Join + serial replay in original envelope order.
+        for &w in owner.iter() {
+            if w == OWNER_NONE {
+                continue;
+            }
+            let buf = &mut shards[w as usize];
+            let rec = buf.records[buf.cursor];
+            buf.cursor += 1;
+            let to = rec.member.index();
+            if S::ENABLED {
+                sink.record(TraceEvent::Deliver {
+                    from: rec.from,
+                    to: rec.member,
+                    round,
+                    sent_at: rec.sent_at,
+                });
+                if !started.contains(to) {
+                    sink.record(TraceEvent::Start {
+                        member: rec.member,
+                        round,
+                    });
+                }
+            }
+            if started.insert(to) {
+                unstarted.remove(to);
+                due.remove(to);
+            }
+            if S::ENABLED {
+                for ev in &buf.events.0[rec.ev_start as usize..(rec.ev_start + rec.ev_len) as usize]
+                {
+                    sink.record(*ev);
+                }
+            }
+            if rec.now_done {
+                active.remove(to);
+            } else {
+                active.insert(to);
+            }
+            if S::ENABLED && !rec.was_done && rec.now_done {
+                sink.record(TraceEvent::Terminate {
+                    member: rec.member,
+                    round,
+                    completeness: rec.completeness,
+                });
+            }
+            Self::replay_sends(net, round, rec, buf, sink);
+        }
+    }
+
+    /// Parallel visit phase: chunk the ascending visit set into
+    /// contiguous ranges, run `on_round` for each chunk on scoped
+    /// threads, then replay outcomes serially in visit order. Engine
+    /// bookkeeping (start/terminate, bitsets, `protocol_steps`) happens
+    /// only in the replay, mirroring the serial loop line for line.
+    // lint:hot — fork-join visit path; all scratch lives in `shards`.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_parallel<S: TraceSink>(
+        &mut self,
+        round: Round,
+        n: usize,
+        visit: &[u32],
+        unstarted: &mut DenseBitSet,
+        due: &mut DenseBitSet,
+        active: &mut DenseBitSet,
+        shards: &mut [ShardBuf<A>],
+        all_settled: &mut bool,
+        protocol_steps: &mut u64,
+        sink: &mut S,
+    ) {
+        let jobs = shards.len();
+        for shard in shards.iter_mut() {
+            shard.reset();
+        }
+        let Simulation {
+            protocols,
+            rngs,
+            net,
+            failure,
+            started,
+            ..
+        } = self;
+        // Chunk the ascending visit set evenly by count; each chunk's
+        // id span yields the `split_at_mut` boundary for its worker.
+        let v = visit.len();
+        let failure: &FailureProcess = failure;
+        thread_scope(|scope| {
+            let mut prot_rest: &mut [P] = protocols;
+            let mut rng_rest: &mut [DetRng] = rngs;
+            let mut base = 0usize;
+            for (c, buf) in shards.iter_mut().enumerate() {
+                let ids = &visit[c * v / jobs..(c + 1) * v / jobs];
+                // the protocol slice runs to just past the chunk's last
+                // id; the final chunk takes the rest of the group
+                let hi = if c + 1 == jobs {
+                    n
+                } else {
+                    *ids.last().expect("chunks are non-empty when v >= jobs") as usize + 1
+                };
+                let (prots, pr) = prot_rest.split_at_mut(hi - base);
+                let (prngs, rr) = rng_rest.split_at_mut(hi - base);
+                prot_rest = pr;
+                rng_rest = rr;
+                let lo = base;
+                scope.spawn(move || {
+                    Self::shard_visit::<S>(round, n, lo, ids, prots, prngs, failure, buf);
+                });
+                base = hi;
+            }
+        });
+
+        // Join + serial replay in visit (ascending member-id) order.
+        for buf in shards.iter_mut() {
+            let mut k = 0;
+            while k < buf.records.len() {
+                let rec = buf.records[k];
+                k += 1;
+                if rec.dead {
+                    continue; // stays active/due; resumes on recovery
+                }
+                let i = rec.member.index();
+                if unstarted.contains(i) {
+                    // due member starting at its official round
+                    unstarted.remove(i);
+                    due.remove(i);
+                    started.insert(i);
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Start {
+                            member: rec.member,
+                            round,
+                        });
+                    }
+                }
+                if rec.pre_done {
+                    active.remove(i);
+                    continue;
+                }
+                active.insert(i);
+                *all_settled = false;
+                *protocol_steps += 1;
+                if S::ENABLED {
+                    for ev in
+                        &buf.events.0[rec.ev_start as usize..(rec.ev_start + rec.ev_len) as usize]
+                    {
+                        sink.record(*ev);
+                    }
+                }
+                if rec.now_done {
+                    active.remove(i);
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Terminate {
+                            member: rec.member,
+                            round,
+                            completeness: rec.completeness,
+                        });
+                    }
+                }
+                Self::replay_sends(net, round, rec, buf, sink);
+            }
+        }
+    }
+
+    // lint:hot — worker side of the fork-join delivery phase: protocol
+    // calls on an exclusively owned member range; outcomes are recorded,
+    // never applied — all shared-state bookkeeping waits for the replay.
+    fn shard_deliver<S: TraceSink>(
+        round: Round,
+        n: usize,
+        base: usize,
+        protocols: &mut [P],
+        rngs: &mut [DetRng],
+        buf: &mut ShardBuf<A>,
+    ) {
+        let mut inbox = std::mem::take(&mut buf.inbox);
+        for env in inbox.drain(..) {
+            let member = env.to;
+            let from = env.from;
+            let sent_at = env.sent_at;
+            let idx = member.index() - base;
+            let was_done = protocols[idx].is_done();
+            let ev_start = buf.events.0.len() as u32;
+            {
+                let mut ctx = if S::ENABLED {
+                    Ctx::traced(round, &mut rngs[idx], &mut buf.events)
+                } else {
+                    Ctx::new(round, &mut rngs[idx])
+                };
+                protocols[idx].on_message(from, env.payload, &mut ctx, &mut buf.out);
+            }
+            let now_done = protocols[idx].is_done();
+            let mut rec = StepRecord {
+                member,
+                from,
+                sent_at,
+                was_done,
+                now_done,
+                ev_start,
+                ev_len: buf.events.0.len() as u32 - ev_start,
+                ..StepRecord::default()
+            };
+            if S::ENABLED && !was_done && now_done {
+                rec.completeness = protocols[idx]
+                    .estimate()
+                    .map_or(0.0, |est| est.completeness(n));
+            }
+            rec.send_start = buf.sends.len() as u32;
+            Self::capture_sends(buf);
+            rec.send_len = buf.sends.len() as u32 - rec.send_start;
+            buf.records.push(rec);
+        }
+        buf.inbox = inbox;
+    }
+
+    // lint:hot — worker side of the fork-join visit phase.
+    #[allow(clippy::too_many_arguments)]
+    fn shard_visit<S: TraceSink>(
+        round: Round,
+        n: usize,
+        base: usize,
+        ids: &[u32],
+        protocols: &mut [P],
+        rngs: &mut [DetRng],
+        failure: &FailureProcess,
+        buf: &mut ShardBuf<A>,
+    ) {
+        for &iv in ids {
+            let me = MemberId(iv);
+            let idx = iv as usize - base;
+            let mut rec = StepRecord {
+                member: me,
+                ..StepRecord::default()
+            };
+            if !failure.is_alive(me) {
+                rec.dead = true;
+                buf.records.push(rec);
+                continue;
+            }
+            if protocols[idx].is_done() {
+                rec.pre_done = true;
+                buf.records.push(rec);
+                continue;
+            }
+            rec.ev_start = buf.events.0.len() as u32;
+            {
+                let mut ctx = if S::ENABLED {
+                    Ctx::traced(round, &mut rngs[idx], &mut buf.events)
+                } else {
+                    Ctx::new(round, &mut rngs[idx])
+                };
+                protocols[idx].on_round(&mut ctx, &mut buf.out);
+            }
+            rec.ev_len = buf.events.0.len() as u32 - rec.ev_start;
+            rec.now_done = protocols[idx].is_done();
+            if S::ENABLED && rec.now_done {
+                rec.completeness = protocols[idx]
+                    .estimate()
+                    .map_or(0.0, |est| est.completeness(n));
+            }
+            rec.send_start = buf.sends.len() as u32;
+            Self::capture_sends(buf);
+            rec.send_len = buf.sends.len() as u32 - rec.send_start;
+            buf.records.push(rec);
+        }
+    }
+
+    // lint:hot — worker-side outbox capture: wire sizes are computed in
+    // parallel; the payloads wait in the shard buffer for the replay.
+    fn capture_sends(buf: &mut ShardBuf<A>) {
+        // destructure so the outbox drain and the send buffer can be
+        // borrowed at once
+        let ShardBuf { out, sends, .. } = buf;
+        for (to, payload) in out.drain() {
+            let bytes = payload.wire_size();
+            sends.push(SendRec {
+                to,
+                bytes,
+                payload: Some(payload),
+            });
+        }
+    }
+
+    // lint:hot — ordered send replay: the only place recorded sends
+    // touch the network, so the shared net RNG (loss + delay draws in
+    // `SimNetwork::send`) consumes exactly the serial stream.
+    fn replay_sends<S: TraceSink>(
+        net: &mut SimNetwork<Payload<A>>,
+        round: Round,
+        rec: StepRecord,
+        buf: &mut ShardBuf<A>,
+        sink: &mut S,
+    ) {
+        for s in &mut buf.sends[rec.send_start as usize..(rec.send_start + rec.send_len) as usize] {
+            let payload = s.payload.take().expect("each recorded send replays once");
+            let outcome = net.send(round, rec.member, s.to, payload, s.bytes);
+            if S::ENABLED {
+                sink.record(TraceEvent::Send {
+                    from: rec.member,
+                    to: s.to,
+                    round,
+                    bytes: u64::from(s.bytes),
+                });
+                match outcome {
+                    SendOutcome::Queued { .. } => {}
+                    SendOutcome::DroppedLoss => {
+                        sink.record(TraceEvent::DropLoss {
+                            from: rec.member,
+                            to: s.to,
+                            round,
+                        });
+                    }
+                    SendOutcome::DroppedBandwidth => {
+                        sink.record(TraceEvent::DropBandwidth {
+                            from: rec.member,
+                            to: s.to,
+                            round,
+                        });
                     }
                 }
             }
@@ -668,6 +1219,90 @@ mod tests {
             last <= report.mean_incompleteness() + 1e-9,
             "curve must reach terminal incompleteness: {last}"
         );
+    }
+
+    #[test]
+    fn fork_join_run_is_byte_identical_to_serial() {
+        // N=256 keeps rounds above PAR_MIN_ITEMS, so the parallel
+        // phases genuinely engage; the whole trace stream — every
+        // event, in order — and the report must match the serial run
+        // at any thread count.
+        let mut serial_trace = crate::trace::RunTrace::for_group(256);
+        let serial = hier_sim(256, 7).run_with(&mut serial_trace);
+        for jobs in [2, 4] {
+            let mut par_trace = crate::trace::RunTrace::for_group(256);
+            let par = hier_sim(256, 7)
+                .with_engine_jobs(jobs)
+                .run_with(&mut par_trace);
+            assert_eq!(serial.rounds, par.rounds, "jobs={jobs}");
+            assert_eq!(serial.net, par.net, "jobs={jobs}");
+            assert_eq!(serial.outcomes, par.outcomes, "jobs={jobs}");
+            assert_eq!(serial.protocol_steps, par.protocol_steps, "jobs={jobs}");
+            assert_eq!(
+                serial_trace.events, par_trace.events,
+                "jobs={jobs}: full trace streams must be identical"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_join_untraced_matches_serial_untraced() {
+        // The untraced (NoTrace) path skips all event buffering in the
+        // workers; proxy counters must still be identical.
+        let serial = hier_sim(300, 11).run();
+        let par = hier_sim(300, 11).with_engine_jobs(3).run();
+        assert_eq!(serial.rounds, par.rounds);
+        assert_eq!(serial.net, par.net);
+        assert_eq!(serial.outcomes, par.outcomes);
+        assert_eq!(serial.protocol_steps, par.protocol_steps);
+    }
+
+    #[test]
+    fn fork_join_handles_churn_and_staggered_starts() {
+        // Dead members and due-to-start members exercise the replay's
+        // bookkeeping branches (dead skip, gossip wake-up, official
+        // start) — outcomes must match the serial engine exactly.
+        let build = || {
+            let n = 256;
+            let seed = 17;
+            let group = GroupBuilder::new(n)
+                .votes(VoteDistribution::Index)
+                .seed(seed)
+                .build();
+            let h = Hierarchy::for_group(4, n).unwrap();
+            let index = ScopeIndex::build(&View::complete(n), &FairHashPlacement::new(h, seed));
+            let protocols: Vec<HierGossip<Average>> = group
+                .members()
+                .iter()
+                .map(|m| HierGossip::new(m.id, m.vote, index.clone(), HierGossipConfig::default()))
+                .collect();
+            let net = SimNetwork::new(
+                NetworkConfig::default()
+                    .with_loss(gridagg_simnet::loss::UniformLoss::new(0.25).unwrap()),
+                seed,
+            );
+            let failure = FailureProcess::new(
+                FailureModel::PerRoundWithRecovery { pf: 0.02, pr: 0.5 },
+                n,
+                seed,
+            );
+            let starts: Vec<Round> = (0..n as u64).map(|i| i % 7).collect();
+            Simulation::new(net, protocols, failure, seed, 127.5, 10_000).with_start_rounds(starts)
+        };
+        let serial = build().run();
+        let par = build().with_engine_jobs(4).run();
+        assert_eq!(serial.rounds, par.rounds);
+        assert_eq!(serial.net, par.net);
+        assert_eq!(serial.outcomes, par.outcomes);
+        assert_eq!(serial.protocol_steps, par.protocol_steps);
+    }
+
+    #[test]
+    fn engine_jobs_clamped_to_limits() {
+        let sim = hier_sim(8, 1).with_engine_jobs(0);
+        assert_eq!(sim.engine_jobs, 1);
+        let sim = hier_sim(8, 1).with_engine_jobs(10_000);
+        assert_eq!(sim.engine_jobs, MAX_ENGINE_JOBS);
     }
 
     #[test]

@@ -161,7 +161,8 @@ fn build_hiergossip_sim<A: WireAggregate>(
         seed,
         truth::<A>(&group),
         cfg.max_rounds(),
-    );
+    )
+    .with_engine_jobs(cfg.engine_jobs);
     if let Some(spread) = cfg.start_spread {
         let mut start_rng = gridagg_simnet::rng::DetRng::seeded(seed).fork(0x7374_6172); // "star"
         let starts = (0..cfg.n)
@@ -182,6 +183,29 @@ pub fn run_flood<A: WireAggregate>(
     flood_cfg: FloodConfig,
     seed: u64,
 ) -> RunReport {
+    build_flood_sim::<A>(cfg, flood_cfg, seed).run()
+}
+
+/// [`run_flood`] with an in-memory [`RunTrace`] recorder attached.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_flood_traced<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    flood_cfg: FloodConfig,
+    seed: u64,
+) -> (RunReport, RunTrace) {
+    let mut trace = RunTrace::for_group(cfg.n);
+    let report = build_flood_sim::<A>(cfg, flood_cfg, seed).run_with(&mut trace);
+    (report, trace)
+}
+
+fn build_flood_sim<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    flood_cfg: FloodConfig,
+    seed: u64,
+) -> Simulation<A, Flood<A>> {
     cfg.validate().expect("invalid experiment config");
     let group = build_group_for(cfg, seed);
     let protocols: Vec<Flood<A>> = group
@@ -200,7 +224,7 @@ pub fn run_flood<A: WireAggregate>(
         truth::<A>(&group),
         max_rounds,
     )
-    .run()
+    .with_engine_jobs(cfg.engine_jobs)
 }
 
 /// Run the §5 centralized-leader baseline once.
@@ -213,6 +237,29 @@ pub fn run_centralized<A: WireAggregate>(
     central_cfg: CentralizedConfig,
     seed: u64,
 ) -> RunReport {
+    build_centralized_sim::<A>(cfg, central_cfg, seed).run()
+}
+
+/// [`run_centralized`] with an in-memory [`RunTrace`] recorder attached.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_centralized_traced<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    central_cfg: CentralizedConfig,
+    seed: u64,
+) -> (RunReport, RunTrace) {
+    let mut trace = RunTrace::for_group(cfg.n);
+    let report = build_centralized_sim::<A>(cfg, central_cfg, seed).run_with(&mut trace);
+    (report, trace)
+}
+
+fn build_centralized_sim<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    central_cfg: CentralizedConfig,
+    seed: u64,
+) -> Simulation<A, Centralized<A>> {
     cfg.validate().expect("invalid experiment config");
     let group = build_group_for(cfg, seed);
     let protocols: Vec<Centralized<A>> = group
@@ -230,7 +277,7 @@ pub fn run_centralized<A: WireAggregate>(
         truth::<A>(&group),
         max_rounds,
     )
-    .run()
+    .with_engine_jobs(cfg.engine_jobs)
 }
 
 /// Run the §6.2 hierarchical leader-election baseline once.
@@ -243,6 +290,30 @@ pub fn run_leader_election<A: WireAggregate>(
     le_cfg: LeaderElectionConfig,
     seed: u64,
 ) -> RunReport {
+    build_leader_sim::<A>(cfg, le_cfg, seed).run()
+}
+
+/// [`run_leader_election`] with an in-memory [`RunTrace`] recorder
+/// attached.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_leader_election_traced<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    le_cfg: LeaderElectionConfig,
+    seed: u64,
+) -> (RunReport, RunTrace) {
+    let mut trace = RunTrace::for_group(cfg.n);
+    let report = build_leader_sim::<A>(cfg, le_cfg, seed).run_with(&mut trace);
+    (report, trace)
+}
+
+fn build_leader_sim<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    le_cfg: LeaderElectionConfig,
+    seed: u64,
+) -> Simulation<A, LeaderElection<A>> {
     cfg.validate().expect("invalid experiment config");
     let group = build_group_for(cfg, seed);
     let index = build_index(cfg, &group, seed);
@@ -262,7 +333,7 @@ pub fn run_leader_election<A: WireAggregate>(
         truth::<A>(&group),
         max_rounds,
     )
-    .run()
+    .with_engine_jobs(cfg.engine_jobs)
 }
 
 /// Run the flat-gossip (no hierarchy) ablation once, with the same round
@@ -272,6 +343,27 @@ pub fn run_leader_election<A: WireAggregate>(
 ///
 /// Panics if `cfg` fails validation.
 pub fn run_flatgossip<A: WireAggregate>(cfg: &ExperimentConfig, seed: u64) -> RunReport {
+    build_flatgossip_sim::<A>(cfg, seed).run()
+}
+
+/// [`run_flatgossip`] with an in-memory [`RunTrace`] recorder attached.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_flatgossip_traced<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> (RunReport, RunTrace) {
+    let mut trace = RunTrace::for_group(cfg.n);
+    let report = build_flatgossip_sim::<A>(cfg, seed).run_with(&mut trace);
+    (report, trace)
+}
+
+fn build_flatgossip_sim<A: WireAggregate>(
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Simulation<A, FlatGossip<A>> {
     cfg.validate().expect("invalid experiment config");
     let group = build_group_for(cfg, seed);
     let hierarchy = Hierarchy::for_group(cfg.k, cfg.n).expect("validated");
@@ -294,7 +386,7 @@ pub fn run_flatgossip<A: WireAggregate>(cfg: &ExperimentConfig, seed: u64) -> Ru
         truth::<A>(&group),
         budget as u64 + 8,
     )
-    .run()
+    .with_engine_jobs(cfg.engine_jobs)
 }
 
 /// Run only the *first phase* of hierarchical gossip and report the
